@@ -1,0 +1,56 @@
+// Command fpga-emu exercises the validation platform (the FPGA-emulation
+// substitute, DESIGN.md §1): it executes Piccolo's §VI command sequences on
+// the DDR4-command-level emulator, verifies gather/scatter data
+// correctness, and runs the Fig. 9 strided-read microbenchmark.
+//
+// Usage:
+//
+//	fpga-emu [-bytes 2097152] [-strides 4,8,16,32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"piccolo/internal/fim"
+	"piccolo/internal/stats"
+)
+
+func main() {
+	totalBytes := flag.Uint64("bytes", 2<<20, "region size read per point (paper: 16MB)")
+	strides := flag.String("strides", "4,8,16,32", "strides in 8B words")
+	flag.Parse()
+
+	cfg := fim.DefaultConfig()
+	fmt.Printf("emulated device: %d banks, %dB rows, tCCD_L=%d tRAS=%d tBURST=%d nCK\n",
+		cfg.Banks, cfg.RowBytes, cfg.TCCDL, cfg.TRAS, cfg.TBURST)
+	fmt.Printf("§VI window: 8×tCCD_L = %d nCK ≤ tWR+tRP+tRCD = %d nCK\n\n",
+		8*cfg.TCCDL, cfg.TWR+cfg.TRP+cfg.TRCD)
+
+	tbl := stats.NewTable("Fig. 9 microbenchmark (every value verified)",
+		"rows", "stride", "conv cycles", "piccolo cycles", "speedup")
+	for _, multiRow := range []bool{false, true} {
+		for _, s := range strings.Split(*strides, ",") {
+			stride, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad stride %q\n", s)
+				os.Exit(2)
+			}
+			r, err := fim.Microbench(cfg, *totalBytes, stride, multiRow)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+				os.Exit(1)
+			}
+			mode := "single"
+			if multiRow {
+				mode = "multi"
+			}
+			tbl.AddRow(mode, strconv.Itoa(stride), stats.I(r.ConvCycles),
+				stats.I(r.PiccoloCycles), stats.F2(r.Speedup()))
+		}
+	}
+	fmt.Println(tbl)
+}

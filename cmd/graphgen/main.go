@@ -1,0 +1,67 @@
+// Command graphgen generates synthetic graphs — the Table II dataset
+// proxies or custom generator invocations — into the binary interchange
+// format that piccolo-sim and piccolo.LoadGraph read.
+//
+// Usage:
+//
+//	graphgen -dataset FS -scale small -out fs.graph
+//	graphgen -kind kronecker -vscale 14 -edgefactor 16 -seed 7 -out kn.graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"piccolo"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "Table II proxy name (UU, TW, SW, FS, PP, WS26..KN28)")
+	scaleFlag := flag.String("scale", "small", "tiny, small, medium (for -dataset)")
+	kind := flag.String("kind", "", "custom generator: kronecker, uniform, ws")
+	vscale := flag.Int("vscale", 12, "kronecker: log2 vertex count; others: vertex count = 1<<vscale")
+	edgeFactor := flag.Int("edgefactor", 8, "edges per vertex")
+	beta := flag.Float64("beta", 0.1, "watts-strogatz rewiring probability")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "out.graph", "output path")
+	flag.Parse()
+
+	var g *piccolo.Graph
+	var err error
+	switch {
+	case *dataset != "":
+		var sc piccolo.Scale
+		switch *scaleFlag {
+		case "tiny":
+			sc = piccolo.ScaleTiny
+		case "small":
+			sc = piccolo.ScaleSmall
+		case "medium":
+			sc = piccolo.ScaleMedium
+		default:
+			fail("unknown scale %q", *scaleFlag)
+		}
+		g, err = piccolo.Dataset(*dataset, sc)
+		if err != nil {
+			fail("%v", err)
+		}
+	case *kind == "kronecker":
+		g = piccolo.GenerateKronecker("kronecker", *vscale, *edgeFactor, *seed)
+	case *kind == "uniform":
+		g = piccolo.GenerateUniform("uniform", 1<<*vscale, float64(*edgeFactor), *seed)
+	case *kind == "ws":
+		g = piccolo.GenerateWattsStrogatz("ws", 1<<*vscale, *edgeFactor, *beta, *seed)
+	default:
+		fail("need -dataset or -kind")
+	}
+	if err := g.WriteFile(*out); err != nil {
+		fail("writing %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s: V=%d E=%d avg-deg=%.2f\n", *out, g.V, g.E(), g.AvgDegree())
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command piccolo-bench regenerates every table and figure of the paper's
+// evaluation (§VII, §VIII) as text tables, and optionally as a markdown
+// report (the source of EXPERIMENTS.md's measured columns).
+//
+// Usage:
+//
+//	piccolo-bench [-scale tiny|small|medium] [-only fig10,fig14] [-md out.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"piccolo/internal/experiments"
+	"piccolo/internal/graph"
+	"piccolo/internal/stats"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "dataset/capacity scale: tiny, small, medium")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig10,fig19b); empty = all")
+	mdPath := flag.String("md", "", "also write a markdown report to this path")
+	prIters := flag.Int("pr-iters", 3, "PageRank iteration cap")
+	flag.Parse()
+
+	var sc graph.Scale
+	switch *scaleFlag {
+	case "tiny":
+		sc = graph.ScaleTiny
+	case "small":
+		sc = graph.ScaleSmall
+	case "medium":
+		sc = graph.ScaleMedium
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	o := experiments.Options{Scale: sc, PRIters: *prIters}
+
+	type exp struct {
+		id  string
+		run func() *stats.Table
+	}
+	all := []exp{
+		{"table2", func() *stats.Table { return experiments.Table2(o) }},
+		{"fig3", func() *stats.Table { t, _ := experiments.Fig3(o); return t }},
+		{"fig9", func() *stats.Table { t, _ := experiments.Fig9(o); return t }},
+		{"fig10", func() *stats.Table { t, _ := experiments.Fig10(o); return t }},
+		{"fig11", func() *stats.Table { t, _ := experiments.Fig11(o); return t }},
+		{"fig12", func() *stats.Table { t, _ := experiments.Fig12(o); return t }},
+		{"fig13", func() *stats.Table { t, _ := experiments.Fig13(o); return t }},
+		{"fig14", func() *stats.Table { t, _ := experiments.Fig14(o); return t }},
+		{"area", experiments.AreaTable},
+		{"fig15", func() *stats.Table { t, _ := experiments.Fig15(o); return t }},
+		{"fig16", func() *stats.Table { t, _ := experiments.Fig16(o); return t }},
+		{"fig17", func() *stats.Table { t, _ := experiments.Fig17(o); return t }},
+		{"fig18", func() *stats.Table { t, _ := experiments.Fig18(o); return t }},
+		{"fig19a", func() *stats.Table { t, _ := experiments.Fig19a(o); return t }},
+		{"fig19b", func() *stats.Table { t, _ := experiments.Fig19b(o); return t }},
+		{"fig20a", func() *stats.Table { t, _ := experiments.Fig20a(o); return t }},
+		{"fig20b", func() *stats.Table { t, _ := experiments.Fig20b(o); return t }},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	var md strings.Builder
+	fmt.Fprintf(&md, "# Piccolo reproduction — measured results (scale=%s)\n\n", *scaleFlag)
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		tbl := e.run()
+		fmt.Printf("%s\n(%s in %.1fs)\n\n", tbl, e.id, time.Since(start).Seconds())
+		md.WriteString(tbl.Markdown())
+		md.WriteString("\n")
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *mdPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("markdown report written to %s\n", *mdPath)
+	}
+}

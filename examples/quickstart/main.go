@@ -1,0 +1,41 @@
+// Quickstart: run BFS on a social-network proxy under the conventional
+// baseline and under Piccolo, compare cycles, and verify both against the
+// simulation-free reference executor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"piccolo"
+)
+
+func main() {
+	g := piccolo.MustDataset("SW", piccolo.ScaleTiny)
+	fmt.Printf("graph %s: %d vertices, %d edges\n\n", g.Name, g.V, g.E())
+
+	var baseline uint64
+	for _, sys := range []piccolo.System{piccolo.SystemGraphDynsCache, piccolo.SystemPiccolo} {
+		cfg := piccolo.Config{
+			System: sys,
+			Kernel: "bfs",
+			Scale:  piccolo.ScaleTiny,
+			Src:    -1, // highest-degree vertex
+		}
+		res, err := piccolo.Run(cfg, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := piccolo.Validate(cfg, g, res); err != nil {
+			log.Fatalf("%s: %v", sys, err)
+		}
+		fmt.Printf("%-18s %9d cycles, %5d gathers, %6d bus transactions\n",
+			sys, res.Cycles, res.Mem.NGather, res.Mem.TotalTxns())
+		if sys == piccolo.SystemGraphDynsCache {
+			baseline = res.Cycles
+		} else {
+			fmt.Printf("\nPiccolo speedup: %.2fx (results bit-identical)\n",
+				float64(baseline)/float64(res.Cycles))
+		}
+	}
+}

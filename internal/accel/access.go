@@ -1,0 +1,225 @@
+package accel
+
+import (
+	"piccolo/internal/dram"
+	"piccolo/internal/mshr"
+)
+
+// topoConsume charges topology-stream bytes; every full burst becomes a
+// prefetch read (ClassTopology). The cursor walks a dedicated region so
+// topology traffic exercises realistic row behaviour.
+func (e *Engine) topoConsume(bytes uint64) {
+	e.res.TopoBytes += bytes
+	e.topoPending += bytes
+	for e.topoPending >= 64 {
+		e.topoPending -= 64
+		e.streamRead(TopoBase|(e.topoCursor&(1<<32-1)), dram.ClassTopology)
+		e.topoCursor += 64
+	}
+}
+
+// burstsPerLine returns how many device bursts one 64B line transfer
+// needs (two on 32B-burst memories: LPDDR4, GDDR5, HBM).
+func (e *Engine) burstsPerLine() int {
+	n := int(64 / e.mem.Cfg.BurstBytes)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// streamRead issues one prefetch-stream 64B line read, bounded by
+// StreamDepth outstanding fetches (depth 1 = no prefetching, Fig. 20b).
+func (e *Engine) streamRead(addr uint64, class dram.Class) {
+	for i := 0; i < e.burstsPerLine(); i++ {
+		for e.streamOut >= e.cfg.StreamDepth {
+			e.dbgStreamStalls++
+			e.advance()
+		}
+		e.streamOut++
+		e.q.RunUntil(e.t)
+		e.mem.Submit(&dram.Request{
+			Kind: dram.ReqRead, Addr: addr + uint64(i)*e.mem.Cfg.BurstBytes, Class: class,
+			OnComplete: func(uint64) { e.streamOut-- },
+		})
+	}
+}
+
+// streamWrite issues one 64B line write on the stream path (apply-phase
+// property updates), same depth bound.
+func (e *Engine) streamWrite(addr uint64, class dram.Class) {
+	for i := 0; i < e.burstsPerLine(); i++ {
+		for e.streamOut >= e.cfg.StreamDepth {
+			e.advance()
+		}
+		e.streamOut++
+		e.q.RunUntil(e.t)
+		e.mem.Submit(&dram.Request{
+			Kind: dram.ReqWrite, Addr: addr + uint64(i)*e.mem.Cfg.BurstBytes, Class: class,
+			OnComplete: func(uint64) { e.streamOut-- },
+		})
+	}
+}
+
+// vtempAccess is the per-edge random read-modify-write of Vtemp[v]
+// (Algorithm 1 line 5) — the access pattern the whole paper is about.
+func (e *Engine) vtempAccess(v uint32) {
+	addr := VtempBase + 8*uint64(v)
+	switch e.cfg.System {
+	case Graphicionado, GraphDynsSPM:
+		// Perfect tiling keeps the tile's Vtemp in the scratchpad.
+		return
+	case PIM:
+		// The reduce executes near-bank; one update command per edge.
+		e.stallWindow()
+		e.outstanding++
+		e.q.RunUntil(e.t)
+		e.mem.Submit(&dram.Request{
+			Kind: dram.ReqPIMUpdate, Addr: addr, Class: dram.ClassVTemp,
+			OnComplete: func(uint64) { e.outstanding-- },
+		})
+	default:
+		e.randomAccess(addr, true, dram.ClassVTemp)
+	}
+}
+
+// applyVtempRead models the apply phase's Vtemp read for vertex v.
+func (e *Engine) applyVtempRead(v uint32) {
+	addr := VtempBase + 8*uint64(v)
+	switch e.cfg.System {
+	case Graphicionado, GraphDynsSPM:
+		return // scratchpad-resident
+	case PIM:
+		// Apply-phase Vtemp reads stream from memory in sorted order.
+		line := addr &^ 63
+		if line != e.pimApplyLine {
+			e.pimApplyLine = line
+			e.streamRead(line, dram.ClassVTemp)
+		}
+	default:
+		e.randomAccess(addr, false, dram.ClassVTemp)
+	}
+}
+
+// randomAccess probes the cache for an 8B word and routes misses through
+// the configured miss-handling path.
+func (e *Engine) randomAccess(addr uint64, write bool, class dram.Class) {
+	res := e.cch.Access(addr, write)
+	for _, ev := range res.Evictions {
+		if ev.Dirty {
+			e.writeback(ev.Addr, ev.Bytes)
+		}
+	}
+	if res.Hit {
+		return
+	}
+	for _, f := range res.Fetches {
+		e.missFetch(f.Addr, f.Bytes, class)
+	}
+}
+
+// missFetch brings fetch data in: 64B fills go through the conventional
+// MSHR; 8B fills are collected by row (Piccolo) or rank (NMP) into
+// gather operations (§V-C).
+func (e *Engine) missFetch(addr, bytes uint64, class dram.Class) {
+	e.stallWindow()
+	e.q.RunUntil(e.t)
+	if bytes != 8 {
+		for {
+			allocated, merged := e.conv.Register(addr)
+			if allocated || merged {
+				e.outstanding++
+				if allocated {
+					// A 64B line fill needs one or two device bursts; the
+					// line completes with the last one.
+					n := e.burstsPerLine()
+					for i := 0; i < n; i++ {
+						req := &dram.Request{
+							Kind:  dram.ReqRead,
+							Addr:  addr + uint64(i)*e.mem.Cfg.BurstBytes,
+							Class: class,
+						}
+						if i == n-1 {
+							req.OnComplete = func(uint64) {
+								e.outstanding -= e.conv.Complete(addr)
+							}
+						}
+						e.mem.Submit(req)
+					}
+				}
+				return
+			}
+			e.advance() // MSHR full
+		}
+	}
+	key := e.mem.RowKeyOf(addr)
+	if e.cfg.System == NMP {
+		key = e.mem.RankKeyOf(addr)
+	}
+	served, flushes := e.coll.ReadMiss(addr, key)
+	if served {
+		return // forwarded from pending write-back data (Fig. 7)
+	}
+	e.outstanding++
+	e.submitFlushes(flushes)
+}
+
+// writeback sends dirty evicted data toward memory: 64B lines as burst
+// writes, 8B sectors into the scatter side of the collection MSHR.
+func (e *Engine) writeback(addr, bytes uint64) {
+	e.q.RunUntil(e.t)
+	if bytes != 8 {
+		for i := 0; i < e.burstsPerLine(); i++ {
+			e.mem.Submit(&dram.Request{Kind: dram.ReqWrite,
+				Addr: addr + uint64(i)*e.mem.Cfg.BurstBytes, Class: dram.ClassWriteback})
+		}
+		return
+	}
+	key := e.mem.RowKeyOf(addr)
+	if e.cfg.System == NMP {
+		key = e.mem.RankKeyOf(addr)
+	}
+	e.submitFlushes(e.coll.Writeback(addr, key))
+}
+
+// submitFlushes turns collection-MSHR dispatches into memory operations.
+func (e *Engine) submitFlushes(flushes []*mshr.Flush) {
+	for _, fl := range flushes {
+		fl := fl
+		e.q.RunUntil(e.t)
+		switch {
+		case fl.Scatter && e.cfg.System == NMP:
+			e.mem.Submit(&dram.Request{
+				Kind: dram.ReqNMPScatter, Addr: fl.Addrs[0], ItemAddrs: fl.Addrs,
+				Class: dram.ClassWriteback,
+			})
+		case fl.Scatter:
+			e.mem.Submit(&dram.Request{
+				Kind: dram.ReqScatter, Addr: fl.Addrs[0], Items: fl.Items(),
+				Class: dram.ClassWriteback,
+			})
+		case e.cfg.System == NMP:
+			subs := fl.TotalSubs()
+			e.mem.Submit(&dram.Request{
+				Kind: dram.ReqNMPGather, Addr: fl.Addrs[0], ItemAddrs: fl.Addrs,
+				Class:      dram.ClassVTemp,
+				OnComplete: func(uint64) { e.outstanding -= subs },
+			})
+		default:
+			subs := fl.TotalSubs()
+			e.mem.Submit(&dram.Request{
+				Kind: dram.ReqGather, Addr: fl.Addrs[0], Items: fl.Items(),
+				Class:      dram.ClassVTemp,
+				OnComplete: func(uint64) { e.outstanding -= subs },
+			})
+		}
+	}
+}
+
+// stallWindow blocks engine progress while the update window is full.
+func (e *Engine) stallWindow() {
+	for e.outstanding >= e.cfg.Window {
+		e.dbgWindowStalls++
+		e.advance()
+	}
+}

@@ -1,0 +1,221 @@
+// Package algorithms defines the vertex-centric-model kernels (Process /
+// Reduce / Apply of Algorithm 1) for the five graph algorithms the paper
+// evaluates — PageRank, BFS, Connected Components, Single-Source Shortest
+// Path and Single-Source Widest Path — plus a simulation-free reference
+// executor used to validate every simulated system's functional output.
+package algorithms
+
+import (
+	"fmt"
+	"math"
+
+	"piccolo/internal/graph"
+)
+
+// Kernel is one vertex-centric graph algorithm. Vertex properties are 8B
+// words (uint64 bit patterns; PageRank stores float64 bits), matching the
+// paper's property granularity.
+type Kernel interface {
+	Name() string
+	// Init returns the initial property array and active-vertex flags.
+	// src is the traversal source (ignored by PR and CC).
+	Init(g *graph.CSR, src uint32) (prop []uint64, active []bool)
+	// Process computes an edge's contribution from the source vertex
+	// property (Algorithm 1 line 4).
+	Process(weight uint8, srcProp uint64, srcDeg uint32) uint64
+	// Reduce combines two contributions (line 5); it must be commutative
+	// and associative with Identity as neutral element.
+	Reduce(a, b uint64) uint64
+	// Identity is Reduce's neutral element, the per-iteration Vtemp reset
+	// value.
+	Identity() uint64
+	// Apply merges the reduced contribution into the old property
+	// (line 7). For monotone kernels Apply(old, Identity()) == old.
+	Apply(old, temp uint64) uint64
+	// Converged reports whether old→new counts as "unchanged" for
+	// activation purposes (lines 8-10). Exact equality for the discrete
+	// kernels; an epsilon for PageRank.
+	Converged(old, new uint64) bool
+	// AllActive reports whether every vertex is processed every iteration
+	// (PR); active-vertex algorithms (BFS/CC/SSSP/SSWP) return false.
+	AllActive() bool
+}
+
+// New returns a kernel by name: pr, bfs, cc, sssp, sswp.
+func New(name string) (Kernel, error) {
+	switch name {
+	case "pr":
+		return PageRank{}, nil
+	case "bfs":
+		return BFS{}, nil
+	case "cc":
+		return CC{}, nil
+	case "sssp":
+		return SSSP{}, nil
+	case "sswp":
+		return SSWP{}, nil
+	}
+	return nil, fmt.Errorf("algorithms: unknown kernel %q", name)
+}
+
+// All returns the five kernels in the paper's presentation order.
+func All() []Kernel {
+	return []Kernel{PageRank{}, BFS{}, CC{}, SSSP{}, SSWP{}}
+}
+
+const (
+	inf     = math.MaxUint64
+	damping = 0.85
+	prEps   = 1e-7
+)
+
+// PageRank traverses every edge each iteration; Vprop[u]/outdeg(u) flows to
+// each neighbor, reduced by summation, applied with damping.
+type PageRank struct{}
+
+func (PageRank) Name() string { return "PR" }
+
+// Init assigns every vertex rank 1 (the sum-to-N PageRank formulation, so
+// Apply's teleport term needs no global vertex count).
+func (PageRank) Init(g *graph.CSR, _ uint32) ([]uint64, []bool) {
+	prop := make([]uint64, g.V)
+	active := make([]bool, g.V)
+	one := math.Float64bits(1)
+	for i := range prop {
+		prop[i] = one
+		active[i] = true
+	}
+	return prop, active
+}
+
+func (PageRank) Process(_ uint8, srcProp uint64, srcDeg uint32) uint64 {
+	if srcDeg == 0 {
+		return 0
+	}
+	return math.Float64bits(math.Float64frombits(srcProp) / float64(srcDeg))
+}
+
+func (PageRank) Reduce(a, b uint64) uint64 {
+	return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+}
+
+func (PageRank) Identity() uint64 { return 0 }
+
+func (PageRank) Apply(old, temp uint64) uint64 {
+	_ = old
+	return math.Float64bits((1 - damping) + damping*math.Float64frombits(temp))
+}
+
+func (PageRank) Converged(old, new uint64) bool {
+	return math.Abs(math.Float64frombits(new)-math.Float64frombits(old)) <= prEps
+}
+
+func (PageRank) AllActive() bool { return true }
+
+// BFS computes hop counts from the source; contributions are level+1,
+// reduced by min.
+type BFS struct{}
+
+func (BFS) Name() string { return "BFS" }
+
+func (BFS) Init(g *graph.CSR, src uint32) ([]uint64, []bool) {
+	prop := make([]uint64, g.V)
+	active := make([]bool, g.V)
+	for i := range prop {
+		prop[i] = inf
+	}
+	prop[src] = 0
+	active[src] = true
+	return prop, active
+}
+
+func (BFS) Process(_ uint8, srcProp uint64, _ uint32) uint64 { return srcProp + 1 }
+func (BFS) Reduce(a, b uint64) uint64                        { return minU(a, b) }
+func (BFS) Identity() uint64                                 { return inf }
+func (BFS) Apply(old, temp uint64) uint64                    { return minU(old, temp) }
+func (BFS) Converged(old, new uint64) bool                   { return old == new }
+func (BFS) AllActive() bool                                  { return false }
+
+// CC propagates minimum vertex labels until components stabilize.
+type CC struct{}
+
+func (CC) Name() string { return "CC" }
+
+func (CC) Init(g *graph.CSR, _ uint32) ([]uint64, []bool) {
+	prop := make([]uint64, g.V)
+	active := make([]bool, g.V)
+	for i := range prop {
+		prop[i] = uint64(i)
+		active[i] = true
+	}
+	return prop, active
+}
+
+func (CC) Process(_ uint8, srcProp uint64, _ uint32) uint64 { return srcProp }
+func (CC) Reduce(a, b uint64) uint64                        { return minU(a, b) }
+func (CC) Identity() uint64                                 { return inf }
+func (CC) Apply(old, temp uint64) uint64                    { return minU(old, temp) }
+func (CC) Converged(old, new uint64) bool                   { return old == new }
+func (CC) AllActive() bool                                  { return false }
+
+// SSSP computes shortest distances with the edge weights (min-plus).
+type SSSP struct{}
+
+func (SSSP) Name() string { return "SSSP" }
+
+func (SSSP) Init(g *graph.CSR, src uint32) ([]uint64, []bool) {
+	prop := make([]uint64, g.V)
+	active := make([]bool, g.V)
+	for i := range prop {
+		prop[i] = inf
+	}
+	prop[src] = 0
+	active[src] = true
+	return prop, active
+}
+
+func (SSSP) Process(weight uint8, srcProp uint64, _ uint32) uint64 {
+	return srcProp + uint64(weight)
+}
+func (SSSP) Reduce(a, b uint64) uint64      { return minU(a, b) }
+func (SSSP) Identity() uint64               { return inf }
+func (SSSP) Apply(old, temp uint64) uint64  { return minU(old, temp) }
+func (SSSP) Converged(old, new uint64) bool { return old == new }
+func (SSSP) AllActive() bool                { return false }
+
+// SSWP computes widest-path capacities: the bottleneck (min) along a path,
+// maximized over paths.
+type SSWP struct{}
+
+func (SSWP) Name() string { return "SSWP" }
+
+func (SSWP) Init(g *graph.CSR, src uint32) ([]uint64, []bool) {
+	prop := make([]uint64, g.V)
+	active := make([]bool, g.V)
+	prop[src] = inf
+	active[src] = true
+	return prop, active
+}
+
+func (SSWP) Process(weight uint8, srcProp uint64, _ uint32) uint64 {
+	return minU(srcProp, uint64(weight))
+}
+func (SSWP) Reduce(a, b uint64) uint64      { return maxU(a, b) }
+func (SSWP) Identity() uint64               { return 0 }
+func (SSWP) Apply(old, temp uint64) uint64  { return maxU(old, temp) }
+func (SSWP) Converged(old, new uint64) bool { return old == new }
+func (SSWP) AllActive() bool                { return false }
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package algorithms
+
+import "piccolo/internal/graph"
+
+// ReferenceResult is the output of the simulation-free executor.
+type ReferenceResult struct {
+	Prop       []uint64
+	Iterations int
+	// EdgeVisits counts processed edges over the whole run (active-source
+	// edges summed across iterations) — the work measure simulated systems
+	// must match exactly.
+	EdgeVisits uint64
+}
+
+// RunReference executes the kernel with the plain vertex-centric loop of
+// Algorithm 1 (no tiling, no memory model) until no vertex is active or
+// maxIters is reached. Every simulated system must produce bit-identical
+// properties (DESIGN.md §5 invariant).
+func RunReference(g *graph.CSR, k Kernel, src uint32, maxIters int) *ReferenceResult {
+	prop, active := k.Init(g, src)
+	vtemp := make([]uint64, g.V)
+	updated := make([]bool, g.V)
+	res := &ReferenceResult{}
+	identity := k.Identity()
+	for i := range vtemp {
+		vtemp[i] = identity
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		anyActive := false
+		for _, a := range active {
+			if a {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			break
+		}
+		res.Iterations++
+		var touched []uint32
+		for u := uint32(0); u < g.V; u++ {
+			if !active[u] {
+				continue
+			}
+			dsts, ws := g.Neighbors(u)
+			deg := uint32(len(dsts))
+			for i, v := range dsts {
+				contrib := k.Process(ws[i], prop[u], deg)
+				if !updated[v] {
+					updated[v] = true
+					touched = append(touched, v)
+				}
+				vtemp[v] = k.Reduce(vtemp[v], contrib)
+				res.EdgeVisits++
+			}
+		}
+		nextActive := make([]bool, g.V)
+		if k.AllActive() {
+			// PR-style: every vertex applies (missing contributions are the
+			// identity) and stays active while any property still moves.
+			moved := false
+			for v := uint32(0); v < g.V; v++ {
+				newProp := k.Apply(prop[v], vtemp[v])
+				if !k.Converged(prop[v], newProp) {
+					moved = true
+				}
+				prop[v] = newProp
+			}
+			if moved {
+				for v := range nextActive {
+					nextActive[v] = true
+				}
+			}
+		} else {
+			for _, v := range touched {
+				newProp := k.Apply(prop[v], vtemp[v])
+				if !k.Converged(prop[v], newProp) {
+					prop[v] = newProp
+					nextActive[v] = true
+				}
+			}
+		}
+		for _, v := range touched {
+			vtemp[v] = identity
+			updated[v] = false
+		}
+		active = nextActive
+	}
+	res.Prop = prop
+	return res
+}

@@ -1,0 +1,46 @@
+package cache
+
+import "fmt"
+
+// Design names accepted by New, covering the Fig. 11 comparison set.
+const (
+	DesignConventional = "conventional"
+	DesignLine8B       = "8b-line"
+	DesignSectored     = "sectored"
+	DesignPiccolo      = "piccolo"
+	DesignPiccoloRRIP  = "piccolo-rrip"
+	DesignAmoeba       = "amoeba"
+	DesignScrabble     = "scrabble"
+	DesignGraphfire    = "graphfire"
+)
+
+// Designs lists every cache design in Fig. 11 presentation order.
+func Designs() []string {
+	return []string{
+		DesignSectored, DesignAmoeba, DesignScrabble, DesignGraphfire,
+		DesignPiccolo, DesignPiccoloRRIP, DesignLine8B,
+	}
+}
+
+// New builds a cache design by name.
+func New(design string, capacity uint64, ways int) (Cache, error) {
+	switch design {
+	case DesignConventional:
+		return NewConventional(capacity, ways, LRU)
+	case DesignLine8B:
+		return NewLine8B(capacity, ways, LRU)
+	case DesignSectored:
+		return NewSectored(capacity, ways, LRU)
+	case DesignPiccolo:
+		return NewPiccolo(capacity, LRU)
+	case DesignPiccoloRRIP:
+		return NewPiccolo(capacity, RRIP)
+	case DesignAmoeba:
+		return NewAmoeba(capacity, ways, LRU)
+	case DesignScrabble:
+		return NewScrabble(capacity, ways, LRU)
+	case DesignGraphfire:
+		return NewGraphfire(capacity, ways, LRU)
+	}
+	return nil, fmt.Errorf("cache: unknown design %q", design)
+}

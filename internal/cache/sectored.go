@@ -1,0 +1,188 @@
+package cache
+
+import "math/bits"
+
+// sectored is the classic sectored cache [54], [55]: 64B lines whose tag is
+// shared by eight 8B sectors with individual valid bits. Fine-grained fills
+// (8B) come cheap, but a single sector still occupies an entire line —
+// the capacity inefficiency §V-A and Fig. 11 demonstrate.
+type sectored struct {
+	name      string
+	lineBytes uint64
+	ways      int
+	setMask   uint64
+	setShift  int
+	repl      Replacement
+	stats     Stats
+
+	sets [][]secLine
+	tick uint64
+}
+
+type secLine struct {
+	valid    bool
+	tag      uint64
+	lastUsed uint64
+	rrpv     uint8
+	present  uint64 // per-sector valid bits
+	dirty    uint64 // per-sector dirty bits
+	touched  uint64
+}
+
+// NewSectored returns an 8-sector 64B-line sectored cache.
+func NewSectored(capacity uint64, ways int, repl Replacement) (Cache, error) {
+	const lineBytes = 64
+	if err := checkGeometry("sectored", capacity, ways, lineBytes); err != nil {
+		return nil, err
+	}
+	nsets := capacity / lineBytes / uint64(ways)
+	c := &sectored{
+		name:      "sectored",
+		lineBytes: lineBytes,
+		ways:      ways,
+		setShift:  bits.TrailingZeros64(uint64(lineBytes)),
+		setMask:   nsets - 1,
+		repl:      repl,
+		sets:      make([][]secLine, nsets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]secLine, ways)
+	}
+	return c, nil
+}
+
+func (c *sectored) Name() string       { return c.name }
+func (c *sectored) Stats() *Stats      { return &c.stats }
+func (c *sectored) FetchBytes() uint64 { return 8 }
+func (c *sectored) Partition([]uint64) {}
+
+func (c *sectored) index(addr uint64) (set int, tag uint64, sector uint) {
+	lineAddr := addr >> c.setShift
+	set = int(lineAddr & c.setMask)
+	tag = lineAddr >> bits.TrailingZeros64(c.setMask+1)
+	sector = uint((addr & (c.lineBytes - 1)) >> 3)
+	return
+}
+
+func (c *sectored) Access(addr uint64, write bool) Result {
+	c.tick++
+	c.stats.Accesses++
+	set, tag, sector := c.index(addr)
+	lines := c.sets[set]
+	bit := uint64(1) << sector
+	for i := range lines {
+		ln := &lines[i]
+		if !ln.valid || ln.tag != tag {
+			continue
+		}
+		ln.lastUsed = c.tick
+		ln.rrpv = 0
+		if ln.present&bit != 0 {
+			c.stats.Hits++
+			ln.touched |= bit
+			if write {
+				ln.dirty |= bit
+			}
+			return Result{Hit: true}
+		}
+		// Sector miss within a present line: fetch just the sector.
+		c.stats.Misses++
+		c.stats.SectorMisses++
+		ln.present |= bit
+		ln.touched |= bit
+		if write {
+			ln.dirty |= bit
+		}
+		c.stats.BytesFetched += 8
+		return Result{Fetches: []Fetch{{Addr: addr &^ 7, Bytes: 8}}}
+	}
+	// Line miss: allocate an entire line for this one sector.
+	c.stats.Misses++
+	c.stats.LineMisses++
+	victim := c.pickVictim(lines)
+	res := Result{}
+	if victim.valid {
+		res.Evictions = c.evictLine(set, victim)
+	}
+	*victim = secLine{
+		valid:    true,
+		tag:      tag,
+		lastUsed: c.tick,
+		rrpv:     rripInsert,
+		present:  bit,
+		touched:  bit,
+	}
+	if write {
+		victim.dirty = bit
+	}
+	c.stats.BytesFetched += 8
+	res.Fetches = []Fetch{{Addr: addr &^ 7, Bytes: 8}}
+	return res
+}
+
+func (c *sectored) pickVictim(lines []secLine) *secLine {
+	for i := range lines {
+		if !lines[i].valid {
+			return &lines[i]
+		}
+	}
+	if c.repl == RRIP {
+		for {
+			for i := range lines {
+				if lines[i].rrpv >= rripMax {
+					return &lines[i]
+				}
+			}
+			for i := range lines {
+				lines[i].rrpv++
+			}
+		}
+	}
+	victim := &lines[0]
+	for i := 1; i < len(lines); i++ {
+		if lines[i].lastUsed < victim.lastUsed {
+			victim = &lines[i]
+		}
+	}
+	return victim
+}
+
+func (c *sectored) evictLine(set int, ln *secLine) []Eviction {
+	c.stats.Evictions++
+	c.stats.BytesUseful += uint64(bits.OnesCount64(ln.touched)) * 8
+	setBits := bits.TrailingZeros64(c.setMask + 1)
+	base := (ln.tag<<setBits | uint64(set)) << c.setShift
+	var out []Eviction
+	for s := uint(0); s < 8; s++ {
+		bit := uint64(1) << s
+		if ln.present&bit == 0 {
+			continue
+		}
+		dirty := ln.dirty&bit != 0
+		if dirty {
+			c.stats.DirtyEvicts++
+			c.stats.BytesWritten += 8
+		}
+		out = append(out, Eviction{Addr: base + uint64(s)*8, Bytes: 8, Dirty: dirty})
+	}
+	return out
+}
+
+func (c *sectored) Flush() []Eviction {
+	var out []Eviction
+	for set := range c.sets {
+		for i := range c.sets[set] {
+			ln := &c.sets[set][i]
+			if !ln.valid {
+				continue
+			}
+			for _, e := range c.evictLine(set, ln) {
+				if e.Dirty {
+					out = append(out, e)
+				}
+			}
+			ln.valid = false
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package dram
+
+import "math/bits"
+
+// Loc is the decomposition of a physical byte address into the DRAM
+// hierarchy. Col is the burst index inside the row; ByteInRow is the byte
+// offset of the address within the row's footprint (the value a FIM offset
+// encodes, §IV-B).
+type Loc struct {
+	Channel, Rank, Bank int
+	Row                 uint64
+	Col                 uint64
+	ByteInRow           uint64
+}
+
+// addrMap extracts hierarchy fields from byte addresses using the
+// row:rank:bank:column:channel:offset ordering — bursts interleave across
+// channels, a row's bursts are contiguous per channel (good for streams),
+// and any 8B word maps to a single (channel,rank,bank,row), which is what
+// the collection-extended MSHR groups by.
+type addrMap struct {
+	burstBits, chBits, colBits, bankBits, rankBits int
+}
+
+func newAddrMap(cfg *Config) addrMap {
+	return addrMap{
+		burstBits: bits.TrailingZeros64(cfg.BurstBytes),
+		chBits:    bits.TrailingZeros64(uint64(cfg.Channels)),
+		colBits:   bits.TrailingZeros64(cfg.RowBytes / cfg.BurstBytes),
+		bankBits:  bits.TrailingZeros64(uint64(cfg.Banks)),
+		rankBits:  bits.TrailingZeros64(uint64(cfg.Ranks)),
+	}
+}
+
+// decode splits a byte address into its location.
+func (m addrMap) decode(addr uint64) Loc {
+	inBurst := addr & (1<<m.burstBits - 1)
+	x := addr >> m.burstBits
+	ch := int(x & (1<<m.chBits - 1))
+	x >>= m.chBits
+	col := x & (1<<m.colBits - 1)
+	x >>= m.colBits
+	bank := int(x & (1<<m.bankBits - 1))
+	x >>= m.bankBits
+	rank := int(x & (1<<m.rankBits - 1))
+	x >>= m.rankBits
+	return Loc{
+		Channel:   ch,
+		Rank:      rank,
+		Bank:      bank,
+		Row:       x,
+		Col:       col,
+		ByteInRow: col<<m.burstBits | inBurst,
+	}
+}
+
+// rowKey packs (channel, rank, bank, row) into one comparable word, the
+// grouping key for FIM collection.
+func (m addrMap) rowKey(l Loc) uint64 {
+	key := l.Row
+	key = key<<m.bankBits | uint64(l.Bank)
+	key = key<<m.rankBits | uint64(l.Rank)
+	key = key<<m.chBits | uint64(l.Channel)
+	return key
+}
+
+// rankKey packs (channel, rank), the grouping key for NMP collection.
+func (m addrMap) rankKey(l Loc) uint64 {
+	return uint64(l.Rank)<<m.chBits | uint64(l.Channel)
+}

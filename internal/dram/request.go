@@ -1,0 +1,98 @@
+package dram
+
+// ReqKind enumerates the memory operations the controller understands.
+type ReqKind int
+
+const (
+	// ReqRead is a conventional burst read (BurstBytes).
+	ReqRead ReqKind = iota
+	// ReqWrite is a conventional burst write.
+	ReqWrite
+	// ReqGather is a Piccolo-FIM in-bank gather (§IV-B): offsets written
+	// over the data bus, k column reads confined to one open row, one (or
+	// FIMDataBursts) data-buffer read transfers back.
+	ReqGather
+	// ReqScatter is a Piccolo-FIM in-bank scatter.
+	ReqScatter
+	// ReqNMPGather is the rank-level near-memory gather of the NMP
+	// baseline [37]: a buffer chip issues k full-burst reads on the rank's
+	// internal bus and returns one packed burst to the host.
+	ReqNMPGather
+	// ReqNMPScatter is the rank-level near-memory scatter.
+	ReqNMPScatter
+	// ReqPIMUpdate is the near-bank PIM baseline's [62] offloaded
+	// reduce: a read-modify-write at the bank, with update packets packed
+	// four per host-bus burst.
+	ReqPIMUpdate
+)
+
+func (k ReqKind) String() string {
+	switch k {
+	case ReqRead:
+		return "read"
+	case ReqWrite:
+		return "write"
+	case ReqGather:
+		return "gather"
+	case ReqScatter:
+		return "scatter"
+	case ReqNMPGather:
+		return "nmp-gather"
+	case ReqNMPScatter:
+		return "nmp-scatter"
+	case ReqPIMUpdate:
+		return "pim-update"
+	}
+	return "unknown"
+}
+
+// Class attributes traffic to the request streams of Algorithm 1, so the
+// experiments can break accesses down the way Figs. 3 and 12 do.
+type Class int
+
+const (
+	ClassTopology  Class = iota // CSR row/column indices
+	ClassSrcProp                // sequential Vprop[u] reads
+	ClassVTemp                  // random Vtemp[v] accesses
+	ClassWriteback              // dirty evictions
+	ClassApply                  // apply-phase sequential scans
+	ClassControl                // FIM offset/descriptor transfers
+	ClassOther
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassTopology:
+		return "topology"
+	case ClassSrcProp:
+		return "srcprop"
+	case ClassVTemp:
+		return "vtemp"
+	case ClassWriteback:
+		return "writeback"
+	case ClassApply:
+		return "apply"
+	case ClassControl:
+		return "control"
+	}
+	return "other"
+}
+
+// Request is one memory operation submitted to the controller.
+//
+// For ReqRead/ReqWrite, Addr is the byte address of the burst. For
+// ReqGather/ReqScatter, Addr locates the target row and Items counts the 8B
+// words collected into the operation (1..Config.FIMItems). For NMP requests,
+// ItemAddrs lists the per-item byte addresses (same rank, any bank/row).
+// For ReqPIMUpdate, Addr is the 8B word being reduced in memory.
+type Request struct {
+	Kind       ReqKind
+	Addr       uint64
+	Items      int
+	ItemAddrs  []uint64
+	Class      Class
+	OnComplete func(now uint64)
+
+	loc Loc // decoded at submit
+}

@@ -1,0 +1,84 @@
+package dram
+
+// ClassStats aggregates bus traffic for one request class.
+type ClassStats struct {
+	ReadTxns     uint64 // data-bus transfers toward the host
+	WriteTxns    uint64 // data-bus transfers toward memory
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Stats collects the controller's observable behaviour; the experiment
+// harness derives Figs. 3, 12, 13 and the DRAM part of Fig. 14 from it.
+type Stats struct {
+	// Command counts.
+	NACT, NPRE, NRD, NWR          uint64
+	NGather, NScatter, NPIMUpdate uint64
+	NNMPGather, NNMPScatter       uint64
+
+	// Off-chip data-bus activity.
+	ReadTxns, WriteTxns         uint64 // burst transfers by direction
+	BusBytesRead, BusBytesWrite uint64
+	BusBusy                     uint64 // cycles of data-bus occupancy, summed over channels
+
+	// DRAM-internal activity (bank column ops that never cross the host
+	// bus: FIM gather/scatter column accesses, NMP rank-internal bursts,
+	// PIM read-modify-writes). InternalReads/InternalWrites split the
+	// column operations by direction for energy attribution.
+	InternalColOps uint64
+	InternalReads  uint64
+	InternalWrites uint64
+	InternalBytes  uint64
+	InternalBusy   uint64
+
+	PerClass [NumClasses]ClassStats
+}
+
+// TotalTxns returns all off-chip bus transfers.
+func (s *Stats) TotalTxns() uint64 { return s.ReadTxns + s.WriteTxns }
+
+// TotalBusBytes returns all off-chip bytes moved.
+func (s *Stats) TotalBusBytes() uint64 { return s.BusBytesRead + s.BusBytesWrite }
+
+func (s *Stats) addRead(class Class, bytes uint64) {
+	s.ReadTxns++
+	s.BusBytesRead += bytes
+	s.PerClass[class].ReadTxns++
+	s.PerClass[class].BytesRead += bytes
+}
+
+func (s *Stats) addWrite(class Class, bytes uint64) {
+	s.WriteTxns++
+	s.BusBytesWrite += bytes
+	s.PerClass[class].WriteTxns++
+	s.PerClass[class].BytesWritten += bytes
+}
+
+// Add merges other into s (used when an experiment aggregates phases).
+func (s *Stats) Add(other *Stats) {
+	s.NACT += other.NACT
+	s.NPRE += other.NPRE
+	s.NRD += other.NRD
+	s.NWR += other.NWR
+	s.NGather += other.NGather
+	s.NScatter += other.NScatter
+	s.NPIMUpdate += other.NPIMUpdate
+	s.NNMPGather += other.NNMPGather
+	s.NNMPScatter += other.NNMPScatter
+	s.ReadTxns += other.ReadTxns
+	s.WriteTxns += other.WriteTxns
+	s.BusBytesRead += other.BusBytesRead
+	s.BusBytesWrite += other.BusBytesWrite
+	s.BusBusy += other.BusBusy
+	s.InternalColOps += other.InternalColOps
+	s.InternalReads += other.InternalReads
+	s.InternalWrites += other.InternalWrites
+	s.InternalBytes += other.InternalBytes
+	s.InternalBusy += other.InternalBusy
+	for i := range s.PerClass {
+		s.PerClass[i].ReadTxns += other.PerClass[i].ReadTxns
+		s.PerClass[i].WriteTxns += other.PerClass[i].WriteTxns
+		s.PerClass[i].BytesRead += other.PerClass[i].BytesRead
+		s.PerClass[i].BytesWritten += other.PerClass[i].BytesWritten
+	}
+}

@@ -1,0 +1,474 @@
+package dram
+
+import (
+	"fmt"
+
+	"piccolo/internal/sim"
+)
+
+// System is the event-driven memory controller plus device timing model.
+// Requests are submitted at the current simulation time; completion
+// callbacks fire on the shared event queue. Scheduling is FR-FCFS per bank
+// (row hits first within a lookahead window), open-row policy.
+type System struct {
+	Cfg   Config
+	Stats Stats
+
+	q        *sim.Queue
+	m        addrMap
+	channels []*channel
+	pending  int
+}
+
+type channel struct {
+	busFreeAt    uint64
+	lastBusWrite bool
+	ranks        []*rank
+}
+
+type rank struct {
+	banks     []*bank
+	lastActAt uint64
+	actRing   [4]uint64 // tFAW sliding window of ACT issue times
+	actIdx    int
+
+	// NMP buffer-chip state: the rank-internal bus between the buffer chip
+	// and the DRAM devices.
+	internalBusFreeAt uint64
+	nmpQueue          []*Request
+	nmpScheduled      bool
+}
+
+type bank struct {
+	openRow    int64 // -1 when closed
+	colReadyAt uint64
+	preReadyAt uint64
+	actReadyAt uint64
+	busyUntil  uint64 // FIM internal operation occupancy
+	queue      []*Request
+	scheduled  bool
+}
+
+// New constructs a memory system on the given event queue.
+func New(cfg Config, q *sim.Queue) (*System, error) {
+	c := cfg
+	if err := c.finalize(); err != nil {
+		return nil, err
+	}
+	s := &System{Cfg: c, q: q, m: newAddrMap(&c)}
+	s.channels = make([]*channel, c.Channels)
+	for i := range s.channels {
+		ch := &channel{ranks: make([]*rank, c.Ranks)}
+		for r := range ch.ranks {
+			rk := &rank{banks: make([]*bank, c.Banks)}
+			for b := range rk.banks {
+				rk.banks[b] = &bank{openRow: -1}
+			}
+			ch.ranks[r] = rk
+		}
+		s.channels[i] = ch
+	}
+	return s, nil
+}
+
+// MustNew is New for configurations known to be valid (presets).
+func MustNew(cfg Config, q *sim.Queue) *System {
+	s, err := New(cfg, q)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Decode exposes the address mapping.
+func (s *System) Decode(addr uint64) Loc { return s.m.decode(addr) }
+
+// RowKeyOf returns the FIM collection key of addr: its (channel, rank,
+// bank, row) packed into one word.
+func (s *System) RowKeyOf(addr uint64) uint64 { return s.m.rowKey(s.m.decode(addr)) }
+
+// RankKeyOf returns the NMP collection key of addr: its (channel, rank).
+func (s *System) RankKeyOf(addr uint64) uint64 { return s.m.rankKey(s.m.decode(addr)) }
+
+// ByteInRow returns the offset of addr inside its row's footprint — the
+// value written to the FIM offset buffer.
+func (s *System) ByteInRow(addr uint64) uint64 { return s.m.decode(addr).ByteInRow }
+
+// ItemsPerOp returns how many 8B words one FIM operation moves.
+func (s *System) ItemsPerOp() int { return s.Cfg.FIMItems }
+
+// Pending returns the number of submitted-but-incomplete requests.
+func (s *System) Pending() int { return s.pending }
+
+// Submit enqueues a request at the current simulation time. The request's
+// OnComplete callback (if any) fires when its data transfer finishes.
+func (s *System) Submit(req *Request) {
+	req.loc = s.m.decode(req.Addr)
+	s.pending++
+	switch req.Kind {
+	case ReqNMPGather, ReqNMPScatter:
+		if len(req.ItemAddrs) == 0 {
+			panic(fmt.Sprintf("dram: %v submitted without item addresses", req.Kind))
+		}
+		rk := s.channels[req.loc.Channel].ranks[req.loc.Rank]
+		rk.nmpQueue = append(rk.nmpQueue, req)
+		if !rk.nmpScheduled {
+			rk.nmpScheduled = true
+			s.q.After(0, func() { s.serveNMP(req.loc.Channel, req.loc.Rank) })
+		}
+	default:
+		if (req.Kind == ReqGather || req.Kind == ReqScatter) && (req.Items < 1 || req.Items > s.Cfg.FIMItems) {
+			panic(fmt.Sprintf("dram: %v with %d items (max %d)", req.Kind, req.Items, s.Cfg.FIMItems))
+		}
+		b := s.bankOf(req.loc)
+		b.queue = append(b.queue, req)
+		if !b.scheduled {
+			b.scheduled = true
+			s.q.After(0, func() { s.serveBank(req.loc.Channel, req.loc.Rank, req.loc.Bank) })
+		}
+	}
+}
+
+func (s *System) bankOf(l Loc) *bank {
+	return s.channels[l.Channel].ranks[l.Rank].banks[l.Bank]
+}
+
+func (s *System) complete(req *Request, at uint64) {
+	s.q.Schedule(at, func() {
+		s.pending--
+		if req.OnComplete != nil {
+			req.OnComplete(at)
+		}
+	})
+}
+
+// frfcfsLookahead bounds the row-hit scan of a bank queue.
+const frfcfsLookahead = 16
+
+// pick removes and returns the next request: the first row hit within the
+// lookahead window, else the oldest request.
+func (b *bank) pick() *Request {
+	limit := len(b.queue)
+	if limit > frfcfsLookahead {
+		limit = frfcfsLookahead
+	}
+	idx := 0
+	if b.openRow >= 0 {
+		for i := 0; i < limit; i++ {
+			if b.queue[i].loc.Row == uint64(b.openRow) {
+				idx = i
+				break
+			}
+		}
+	}
+	req := b.queue[idx]
+	b.queue = append(b.queue[:idx], b.queue[idx+1:]...)
+	return req
+}
+
+// serveBank processes one request from the bank queue and re-arms itself
+// while work remains.
+func (s *System) serveBank(chIdx, rkIdx, bIdx int) {
+	ch := s.channels[chIdx]
+	rk := ch.ranks[rkIdx]
+	b := rk.banks[bIdx]
+	b.scheduled = false
+	if len(b.queue) == 0 {
+		return
+	}
+	req := b.pick()
+	var next uint64
+	switch req.Kind {
+	case ReqRead, ReqWrite:
+		next = s.execBurst(ch, rk, b, req)
+	case ReqGather, ReqScatter:
+		next = s.execFIM(ch, rk, b, req)
+	case ReqPIMUpdate:
+		next = s.execPIMUpdate(ch, rk, b, req)
+	default:
+		panic("dram: unexpected request kind in bank queue")
+	}
+	if len(b.queue) > 0 {
+		b.scheduled = true
+		s.q.Schedule(next, func() { s.serveBank(chIdx, rkIdx, bIdx) })
+	}
+}
+
+// openRowFor brings the bank's row buffer to the requested row, returning
+// the earliest time a column command may issue. now is the scheduling time.
+func (s *System) openRowFor(rk *rank, b *bank, row uint64, now uint64) uint64 {
+	t := &s.Cfg.Timing
+	if b.openRow == int64(row) {
+		return maxU(now, b.colReadyAt, b.busyUntil)
+	}
+	actAt := maxU(now, b.actReadyAt)
+	if b.openRow >= 0 {
+		preAt := maxU(now, b.preReadyAt, b.busyUntil)
+		actAt = maxU(actAt, preAt+t.TRP)
+		s.Stats.NPRE++
+	}
+	// Rank-level activation constraints: tRRD to the previous ACT and tFAW
+	// across the last four.
+	actAt = maxU(actAt, rk.lastActAt+t.TRRD, rk.actRing[rk.actIdx]+t.TFAW)
+	rk.lastActAt = actAt
+	rk.actRing[rk.actIdx] = actAt
+	rk.actIdx = (rk.actIdx + 1) % len(rk.actRing)
+	s.Stats.NACT++
+
+	b.openRow = int64(row)
+	b.colReadyAt = actAt + t.TRCD
+	b.preReadyAt = actAt + t.TRAS
+	b.actReadyAt = actAt + t.TRAS + t.TRP
+	return maxU(b.colReadyAt, b.busyUntil)
+}
+
+// busTransfer reserves the channel data bus for one burst in the given
+// direction no earlier than ready, returning the transfer start time.
+func (s *System) busTransfer(ch *channel, ready uint64, write bool) uint64 {
+	t := &s.Cfg.Timing
+	free := ch.busFreeAt
+	if ch.lastBusWrite != write {
+		free += t.TTRN
+	}
+	start := maxU(ready, free)
+	ch.busFreeAt = start + t.TBL
+	ch.lastBusWrite = write
+	s.Stats.BusBusy += t.TBL
+	return start
+}
+
+// reserveBus schedules n back-to-back burst transfers no earlier than
+// ready, reserving the channel data bus *at its use time* — deferring the
+// reservation keeps the single busFreeAt cursor chronological, so a
+// latency gap inside one operation (e.g. the FIM virtual-row window) never
+// blocks other banks' earlier bus slots. done (optional) receives the end
+// of the last transfer.
+func (s *System) reserveBus(ch *channel, ready uint64, write bool, n int, done func(uint64)) {
+	s.q.Schedule(ready, func() {
+		r := ready
+		var end uint64
+		for i := 0; i < n; i++ {
+			start := s.busTransfer(ch, r, write)
+			end = start + s.Cfg.Timing.TBL
+			r = end
+		}
+		if done != nil {
+			done(end)
+		}
+	})
+}
+
+// execBurst performs a conventional read or write burst and returns the
+// bank's next selection time. Bank-state updates use the no-bus-stall
+// column time; bus contention only delays the data (and completion).
+func (s *System) execBurst(ch *channel, rk *rank, b *bank, req *Request) uint64 {
+	t := &s.Cfg.Timing
+	now := s.q.Now()
+	colAt := s.openRowFor(rk, b, req.loc.Row, now)
+	b.colReadyAt = colAt + t.TCCD
+	if req.Kind == ReqRead {
+		b.preReadyAt = maxU(b.preReadyAt, colAt+t.TRTP)
+		s.Stats.NRD++
+		s.Stats.addRead(req.Class, s.Cfg.BurstBytes)
+		s.reserveBus(ch, colAt+t.TCL, false, 1, func(end uint64) {
+			s.complete(req, end)
+		})
+	} else {
+		b.preReadyAt = maxU(b.preReadyAt, colAt+t.TCWL+t.TBL+t.TWR)
+		s.Stats.NWR++
+		s.Stats.addWrite(req.Class, s.Cfg.BurstBytes)
+		s.reserveBus(ch, colAt+t.TCWL, true, 1, func(end uint64) {
+			s.complete(req, end)
+		})
+	}
+	return b.colReadyAt
+}
+
+// execFIM performs a Piccolo gather or scatter (§IV-B, §VI): offset bursts
+// over the data bus, Items in-bank column operations confined to the open
+// row (hidden under the virtual-row tWR+tRP+tRCD window), and data-buffer
+// transfers. The bank array is busy during the internal operation but the
+// channel bus is not — that asymmetry is the source of Piccolo's bandwidth
+// win.
+func (s *System) execFIM(ch *channel, rk *rank, b *bank, req *Request) uint64 {
+	t := &s.Cfg.Timing
+	cfg := &s.Cfg
+	now := s.q.Now()
+	colAt := s.openRowFor(rk, b, req.loc.Row, now)
+
+	// Offset-buffer write bursts (ClassControl traffic). Timing below uses
+	// the contention-free burst end; the actual bus slots are reserved at
+	// use time.
+	nOff := cfg.fimOffsetBursts
+	offDone := colAt + t.TCWL + uint64(nOff)*t.TBL
+	s.Stats.NWR += uint64(nOff)
+	for i := 0; i < nOff; i++ {
+		s.Stats.addWrite(ClassControl, cfg.BurstBytes)
+	}
+	s.reserveBus(ch, colAt+t.TCWL, true, nOff, nil)
+
+	items := uint64(req.Items)
+	switch req.Kind {
+	case ReqGather:
+		// Internal in-bank column reads start when the offsets land.
+		internalDone := offDone + items*t.TCCD
+		b.busyUntil = internalDone
+		s.Stats.InternalColOps += items
+		s.Stats.InternalReads += items
+		s.Stats.InternalBytes += items * 8
+		s.Stats.InternalBusy += items * t.TCCD
+		// The data-buffer read is addressed at the *other* virtual row, so
+		// the controller emits PRE+ACT that the internal controller turns
+		// into no-ops; the gap tWR+tRP+tRCD conceals the internal reads.
+		window := offDone + t.TWR + t.TRP + t.TRCD
+		readColAt := maxU(window, internalDone)
+		s.Stats.NRD += uint64(cfg.FIMDataBursts)
+		for i := 0; i < cfg.FIMDataBursts; i++ {
+			s.Stats.addRead(req.Class, cfg.BurstBytes)
+		}
+		s.reserveBus(ch, readColAt+t.TCL, false, cfg.FIMDataBursts, func(end uint64) {
+			s.complete(req, end)
+		})
+		b.colReadyAt = maxU(b.colReadyAt, readColAt+t.TCCD)
+		s.Stats.NGather++
+		return maxU(b.colReadyAt, b.busyUntil)
+	default: // ReqScatter
+		// Data-buffer write bursts follow the offsets.
+		dataDone := offDone + uint64(cfg.FIMDataBursts)*t.TBL
+		s.Stats.NWR += uint64(cfg.FIMDataBursts)
+		for i := 0; i < cfg.FIMDataBursts; i++ {
+			s.Stats.addWrite(req.Class, cfg.BurstBytes)
+		}
+		s.reserveBus(ch, offDone, true, cfg.FIMDataBursts, func(end uint64) {
+			s.complete(req, end)
+		})
+		internalDone := dataDone + items*t.TCCD
+		b.busyUntil = internalDone
+		b.preReadyAt = maxU(b.preReadyAt, internalDone+t.TWR)
+		s.Stats.InternalColOps += items
+		s.Stats.InternalWrites += items
+		s.Stats.InternalBytes += items * 8
+		s.Stats.InternalBusy += items * t.TCCD
+		s.Stats.NScatter++
+		return maxU(b.colReadyAt, b.busyUntil)
+	}
+}
+
+// execPIMUpdate performs one near-bank read-modify-write. Following
+// GraphPIM's host interface, every offloaded atomic is its own request
+// packet: one bus transaction per update (the command/address/operand
+// cannot share a burst with unrelated updates).
+func (s *System) execPIMUpdate(ch *channel, rk *rank, b *bank, req *Request) uint64 {
+	t := &s.Cfg.Timing
+	now := s.q.Now()
+	s.Stats.NPIMUpdate++
+	dataAt := s.busTransfer(ch, now, true)
+	arrival := dataAt + t.TBL
+	s.Stats.addWrite(req.Class, s.Cfg.BurstBytes)
+	colAt := s.openRowFor(rk, b, req.loc.Row, arrival)
+	// Read-modify-write occupies two column slots at the bank.
+	done := colAt + 2*t.TCCD
+	b.colReadyAt = done
+	b.preReadyAt = maxU(b.preReadyAt, done+t.TWR)
+	s.Stats.InternalColOps += 2
+	s.Stats.InternalReads++
+	s.Stats.InternalWrites++
+	s.Stats.InternalBytes += 16
+	s.Stats.InternalBusy += 2 * t.TCCD
+	s.complete(req, done)
+	return b.colReadyAt
+}
+
+// serveNMP processes one rank-level near-memory gather/scatter: a
+// descriptor burst to the buffer chip, per-item full-burst accesses on the
+// rank-internal bus (using the real banks' timing state), and a packed
+// result burst back to the host for gathers.
+func (s *System) serveNMP(chIdx, rkIdx int) {
+	ch := s.channels[chIdx]
+	rk := ch.ranks[rkIdx]
+	rk.nmpScheduled = false
+	if len(rk.nmpQueue) == 0 {
+		return
+	}
+	req := rk.nmpQueue[0]
+	rk.nmpQueue = rk.nmpQueue[1:]
+
+	t := &s.Cfg.Timing
+	now := s.q.Now()
+
+	// Descriptor transfer (offsets / offsets+data) on the host bus.
+	descAt := s.busTransfer(ch, now, true)
+	descDone := descAt + t.TBL
+	s.Stats.NWR++
+	s.Stats.addWrite(ClassControl, s.Cfg.BurstBytes)
+	if req.Kind == ReqNMPScatter {
+		dataAt := s.busTransfer(ch, descDone, true)
+		descDone = dataAt + t.TBL
+		s.Stats.NWR++
+		s.Stats.addWrite(req.Class, s.Cfg.BurstBytes)
+	}
+
+	// Buffer-chip accesses: full bursts on the rank-internal bus. Banks
+	// obey normal timing; the host channel bus stays free.
+	write := req.Kind == ReqNMPScatter
+	var allDone uint64
+	for _, ia := range req.ItemAddrs {
+		loc := s.m.decode(ia)
+		ib := rk.banks[loc.Bank]
+		colAt := s.openRowFor(rk, ib, loc.Row, descDone)
+		var ready uint64
+		if write {
+			ready = colAt + t.TCWL
+		} else {
+			ready = colAt + t.TCL
+		}
+		start := maxU(ready, rk.internalBusFreeAt)
+		rk.internalBusFreeAt = start + t.TBL
+		itemDone := start + t.TBL
+		ib.colReadyAt = maxU(ib.colReadyAt, colAt+t.TCCD)
+		if write {
+			ib.preReadyAt = maxU(ib.preReadyAt, itemDone+t.TWR)
+			s.Stats.NWR++
+			s.Stats.InternalWrites++
+		} else {
+			ib.preReadyAt = maxU(ib.preReadyAt, colAt+t.TRTP)
+			s.Stats.NRD++
+			s.Stats.InternalReads++
+		}
+		s.Stats.InternalColOps++
+		s.Stats.InternalBytes += s.Cfg.BurstBytes
+		s.Stats.InternalBusy += t.TBL
+		if itemDone > allDone {
+			allDone = itemDone
+		}
+	}
+
+	if req.Kind == ReqNMPGather {
+		s.Stats.NRD++
+		s.Stats.addRead(req.Class, s.Cfg.BurstBytes)
+		s.Stats.NNMPGather++
+		// The packed result burst crosses the host bus once the buffer
+		// chip has collected every item; reserve that slot at use time.
+		s.reserveBus(ch, allDone, false, 1, func(end uint64) {
+			s.complete(req, end)
+		})
+	} else {
+		s.Stats.NNMPScatter++
+		s.complete(req, allDone)
+	}
+
+	if len(rk.nmpQueue) > 0 {
+		rk.nmpScheduled = true
+		s.q.Schedule(maxU(descDone, s.q.Now()), func() { s.serveNMP(chIdx, rkIdx) })
+	}
+}
+
+func maxU(xs ...uint64) uint64 {
+	var m uint64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,93 @@
+package energy
+
+import (
+	"testing"
+
+	"piccolo/internal/dram"
+)
+
+func sampleInputs() Inputs {
+	var m dram.Stats
+	m.NACT, m.NRD, m.NWR = 100, 1000, 300
+	m.ReadTxns, m.WriteTxns = 1000, 300
+	m.InternalReads, m.InternalWrites = 400, 100
+	return Inputs{
+		Cycles: 50000, Edges: 20000,
+		CacheAccesses: 20000, CacheName: "piccolo-LRU", MSHROps: 2000,
+		Mem: m, Ranks: 4,
+	}
+}
+
+func TestBreakdownPositiveAndSums(t *testing.T) {
+	b := Estimate(Default(), sampleInputs())
+	parts := []float64{b.Accelerator, b.Cache, b.DRAMRead, b.DRAMWrite, b.DRAMIO, b.Other}
+	sum := 0.0
+	for i, p := range parts {
+		if p <= 0 {
+			t.Errorf("component %d not positive: %v", i, p)
+		}
+		sum += p
+	}
+	if got := b.Total(); got != sum {
+		t.Errorf("Total = %v, parts sum %v", got, sum)
+	}
+}
+
+func TestIODominatesDynamicDRAM(t *testing.T) {
+	// §VII-F: "DRAM I/O energy ... is the largest portion of the DRAM
+	// energy consumption" for bus-heavy runs.
+	b := Estimate(Default(), sampleInputs())
+	if b.DRAMIO <= b.DRAMRead || b.DRAMIO <= b.DRAMWrite {
+		t.Errorf("I/O %v not dominant over RD %v / WR %v", b.DRAMIO, b.DRAMRead, b.DRAMWrite)
+	}
+}
+
+func TestFewerTransactionsLessEnergy(t *testing.T) {
+	// The Fig. 14 mechanism: equal work with fewer bus transactions (FIM
+	// replacing bursts with internal ops) must cost less energy.
+	base := sampleInputs()
+	fim := base
+	fim.Mem.ReadTxns = 300
+	fim.Mem.NRD = 300
+	fim.Mem.InternalReads = 5600 // the same words moved in-bank
+	eb := Estimate(Default(), base)
+	ef := Estimate(Default(), fim)
+	if ef.Total() >= eb.Total() {
+		t.Errorf("FIM-style run (%.0f nJ) not cheaper than burst-style (%.0f nJ)", ef.Total(), eb.Total())
+	}
+}
+
+func TestNoCacheNoCacheEnergy(t *testing.T) {
+	in := sampleInputs()
+	in.CacheName = ""
+	b := Estimate(Default(), in)
+	if b.Cache != 0 {
+		t.Errorf("cacheless system charged cache energy %v", b.Cache)
+	}
+}
+
+func TestUnknownCacheNameFallsBack(t *testing.T) {
+	in := sampleInputs()
+	in.CacheName = "mystery"
+	b := Estimate(Default(), in)
+	if b.Cache <= 0 {
+		t.Error("unknown cache design got zero energy")
+	}
+}
+
+func TestZeroActivityZeroDynamic(t *testing.T) {
+	b := Estimate(Default(), Inputs{Ranks: 1})
+	if b.DRAMRead != 0 || b.DRAMWrite != 0 || b.DRAMIO != 0 {
+		t.Errorf("idle run has dynamic DRAM energy: %+v", b)
+	}
+}
+
+func TestStaticScalesWithCycles(t *testing.T) {
+	in := sampleInputs()
+	long := in
+	long.Cycles *= 2
+	a, b := Estimate(Default(), in), Estimate(Default(), long)
+	if b.Other <= a.Other || b.Accelerator <= a.Accelerator {
+		t.Error("static energy does not scale with cycles")
+	}
+}

@@ -1,0 +1,317 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VII, §VIII) on the scaled dataset proxies. Each Fig* /
+// Table* function runs the necessary simulations (memoized within the
+// process) and returns both a printable table and the structured numbers
+// the tests assert shapes on. DESIGN.md §4 maps experiment IDs to these
+// functions and to the bench_test.go targets.
+package experiments
+
+import (
+	"fmt"
+
+	"piccolo/internal/accel"
+	"piccolo/internal/core"
+	"piccolo/internal/dram"
+	"piccolo/internal/graph"
+	"piccolo/internal/stats"
+)
+
+// Options configures an experiment sweep.
+type Options struct {
+	Scale graph.Scale
+	// PRIters caps PageRank iterations (full convergence takes tens of
+	// iterations and only scales every system's cycle count together).
+	PRIters int
+}
+
+func (o Options) prIters() int {
+	if o.PRIters == 0 {
+		return 3
+	}
+	return o.PRIters
+}
+
+// Kernels in the paper's presentation order.
+var kernelOrder = []string{"pr", "bfs", "cc", "sssp", "sswp"}
+
+// realOrder is the paper's dataset column order (Figs. 10-14).
+var realOrder = []string{"UU", "TW", "SW", "FS", "PP"}
+
+func (o Options) maxIters(kernel string) int {
+	if kernel == "pr" {
+		return o.prIters()
+	}
+	return 40
+}
+
+// graphCache memoizes proxy construction per (name, scale).
+var graphCache = map[string]*graph.CSR{}
+
+func getGraph(name string, sc graph.Scale) *graph.CSR {
+	key := fmt.Sprintf("%s@%d", name, sc)
+	if g, ok := graphCache[key]; ok {
+		return g
+	}
+	d, err := graph.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	g := d.Build(sc)
+	graphCache[key] = g
+	return g
+}
+
+// runCache memoizes simulation results for identical configurations.
+var runCache = map[string]*core.Result{}
+
+func run(cfg core.Config, dsName string) *core.Result {
+	key := fmt.Sprintf("%s|%v|%s|%s|%d|%d|%v|%d|%s|%d|%v|%v",
+		dsName, cfg.System, cfg.Kernel, cfg.Mem.Name, cfg.Scale, cfg.TileScale,
+		cfg.Untiled, cfg.MaxIters, cfg.CacheDesign, cfg.StreamDepth,
+		cfg.EdgeCentric, cfg.Src)
+	if r, ok := runCache[key]; ok {
+		return r
+	}
+	cfg.Src = -1
+	r := core.MustRun(cfg, getGraph(dsName, cfg.Scale))
+	runCache[key] = r
+	return r
+}
+
+// ResetCache clears memoized graphs and runs (used by benchmarks that
+// measure construction cost).
+func ResetCache() {
+	graphCache = map[string]*graph.CSR{}
+	runCache = map[string]*core.Result{}
+}
+
+func (o Options) baseCfg(sys accel.System, kernel string) core.Config {
+	return core.Config{
+		System:   sys,
+		Kernel:   kernel,
+		Scale:    o.Scale,
+		MaxIters: o.maxIters(kernel),
+		Src:      -1,
+	}
+}
+
+// tileCandidates returns the tile-scale search space per system; the paper
+// gives every system "the best tile width as determined by an exhaustive
+// search" (§VII-A).
+func tileCandidates(sys accel.System) []int {
+	switch sys {
+	case accel.Graphicionado, accel.GraphDynsSPM:
+		return []int{1} // scratchpads require perfect tiling
+	case accel.PIM:
+		return []int{0} // no on-chip Vtemp: tiling only adds repetition
+	case accel.GraphDynsCache:
+		return []int{1, 2, 4, 8, 0} // 0 = untiled
+	default: // NMP, Piccolo: "Piccolo prefers larger tiles" (Fig. 17)
+		return []int{4, 8, 16, 0}
+	}
+}
+
+// bestRun simulates the system with each candidate tile width and returns
+// the fastest result (memoized per candidate).
+func bestRun(o Options, sys accel.System, kernel, ds string) *core.Result {
+	return bestRunMem(o, sys, kernel, ds, dram.Config{})
+}
+
+// bestRunMem is bestRun with an explicit memory configuration (zero value:
+// the DDR4-2400 x16 default).
+func bestRunMem(o Options, sys accel.System, kernel, ds string, mem dram.Config) *core.Result {
+	var best *core.Result
+	for _, scale := range tileCandidates(sys) {
+		cfg := o.baseCfg(sys, kernel)
+		cfg.Mem = mem
+		cfg.TileScale = scale
+		if scale == 0 {
+			cfg.Untiled = true
+		}
+		r := run(cfg, ds)
+		if best == nil || r.Cycles < best.Cycles {
+			best = r
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Table II: dataset inventory.
+
+// Table2 returns the dataset proxy inventory mirroring Table II.
+func Table2(o Options) *stats.Table {
+	t := stats.NewTable("Table II: graph dataset proxies",
+		"graph", "paper V(M)", "paper E(M)", "proxy V", "proxy E", "avg deg", "brief")
+	for _, d := range append(graph.RealWorld(), graph.Synthetic()...) {
+		g := getGraph(d.Name, o.Scale)
+		t.AddRow(d.Name, stats.F(d.PaperV), stats.F(d.PaperE),
+			stats.I(uint64(g.V)), stats.I(g.E()), stats.F2(g.AvgDegree()), d.Brief)
+	}
+	t.AddNote("proxies are degree- and locality-matched synthetic graphs (DESIGN.md §1)")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3: motivational experiment.
+
+// Fig3Row is one bar group of Fig. 3.
+type Fig3Row struct {
+	Dataset        string
+	Tiled          bool
+	UsefulFraction float64
+	ReadTxns       uint64
+	WriteTxns      uint64
+	TopoReads      uint64
+	HitRate        float64
+}
+
+// Fig3 runs BFS on the TW/SW/FS proxies under the conventional baseline
+// with no tiling and with perfect tiling, reporting the useful/unuseful
+// byte split and RD/WR transaction counts.
+func Fig3(o Options) (*stats.Table, []Fig3Row) {
+	t := stats.NewTable("Fig. 3: useful vs unuseful memory access (BFS, conventional baseline)",
+		"dataset", "tiling", "useful", "unuseful", "RD txns", "WR txns", "hit rate")
+	var rows []Fig3Row
+	for _, tiled := range []bool{false, true} {
+		for _, ds := range []string{"TW", "SW", "FS"} {
+			cfg := o.baseCfg(accel.GraphDynsCache, "bfs")
+			if tiled {
+				cfg.TileScale = 1 // perfect tiling
+			} else {
+				cfg.Untiled = true
+			}
+			r := run(cfg, ds)
+			useful := r.Cache.UsefulFraction()
+			row := Fig3Row{
+				Dataset: ds, Tiled: tiled, UsefulFraction: useful,
+				ReadTxns: r.Mem.ReadTxns, WriteTxns: r.Mem.WriteTxns,
+				TopoReads: r.Mem.PerClass[dram.ClassTopology].ReadTxns,
+				HitRate:   r.Cache.HitRate(),
+			}
+			rows = append(rows, row)
+			mode := "non-tiling"
+			if tiled {
+				mode = "perfect"
+			}
+			t.AddRow(ds, mode, stats.Pct(useful), stats.Pct(1-useful),
+				stats.I(row.ReadTxns), stats.I(row.WriteTxns), stats.Pct(row.HitRate))
+		}
+	}
+	t.AddNote("perfect tiling trades unuseful fetches for repeated topology reads (§III)")
+	return t, rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10: overall speedup.
+
+// Fig10Data holds speedups normalized to GraphDyns (Cache).
+type Fig10Data struct {
+	// Speedup[system][kernel][dataset].
+	Speedup map[accel.System]map[string]map[string]float64
+	// Geomean per system across all kernel/dataset cells.
+	Geomean map[accel.System]float64
+}
+
+// Fig10 runs the full 6-system × 5-kernel × 5-dataset matrix.
+func Fig10(o Options) (*stats.Table, *Fig10Data) {
+	data := &Fig10Data{
+		Speedup: map[accel.System]map[string]map[string]float64{},
+		Geomean: map[accel.System]float64{},
+	}
+	t := stats.NewTable("Fig. 10: speedup over GraphDyns (Cache)",
+		append([]string{"algo", "dataset"}, systemNames()...)...)
+	all := map[accel.System][]float64{}
+	for _, kernel := range kernelOrder {
+		for _, ds := range realOrder {
+			base := bestRun(o, accel.GraphDynsCache, kernel, ds)
+			cells := []string{kernelName(kernel), ds}
+			for _, sys := range accel.Systems() {
+				r := bestRun(o, sys, kernel, ds)
+				sp := stats.Ratio(float64(base.Cycles), float64(r.Cycles))
+				if data.Speedup[sys] == nil {
+					data.Speedup[sys] = map[string]map[string]float64{}
+				}
+				if data.Speedup[sys][kernel] == nil {
+					data.Speedup[sys][kernel] = map[string]float64{}
+				}
+				data.Speedup[sys][kernel][ds] = sp
+				all[sys] = append(all[sys], sp)
+				cells = append(cells, stats.F2(sp))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	gmCells := []string{"GM", ""}
+	for _, sys := range accel.Systems() {
+		gm := stats.Geomean(all[sys])
+		data.Geomean[sys] = gm
+		gmCells = append(gmCells, stats.F2(gm))
+	}
+	t.AddRow(gmCells...)
+	return t, data
+}
+
+func systemNames() []string {
+	var out []string
+	for _, s := range accel.Systems() {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+func kernelName(k string) string {
+	switch k {
+	case "pr":
+		return "PR"
+	case "bfs":
+		return "BFS"
+	case "cc":
+		return "CC"
+	case "sssp":
+		return "SSSP"
+	case "sswp":
+		return "SSWP"
+	}
+	return k
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11: fine-grained cache designs on top of Piccolo-FIM.
+
+// Fig11Data holds per-design geomean speedups over the conventional cache.
+type Fig11Data struct {
+	Geomean map[string]float64 // by cache design name
+}
+
+// Fig11 sweeps the cache zoo with the Piccolo memory path, normalized to
+// the conventional-cache baseline system.
+func Fig11(o Options) (*stats.Table, *Fig11Data) {
+	designs := []string{"sectored", "amoeba", "scrabble", "graphfire", "piccolo", "piccolo-rrip", "8b-line"}
+	t := stats.NewTable("Fig. 11: cache designs on Piccolo-FIM (speedup over conventional 64B cache)",
+		append([]string{"algo", "dataset"}, designs...)...)
+	data := &Fig11Data{Geomean: map[string]float64{}}
+	acc := map[string][]float64{}
+	for _, kernel := range kernelOrder {
+		for _, ds := range realOrder {
+			base := bestRun(o, accel.GraphDynsCache, kernel, ds)
+			cells := []string{kernelName(kernel), ds}
+			for _, design := range designs {
+				cfg := o.baseCfg(accel.Piccolo, kernel)
+				cfg.CacheDesign = design
+				r := run(cfg, ds)
+				sp := stats.Ratio(float64(base.Cycles), float64(r.Cycles))
+				acc[design] = append(acc[design], sp)
+				cells = append(cells, stats.F2(sp))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	gm := []string{"GM", ""}
+	for _, design := range designs {
+		data.Geomean[design] = stats.Geomean(acc[design])
+		gm = append(gm, stats.F2(data.Geomean[design]))
+	}
+	t.AddRow(gm...)
+	return t, data
+}

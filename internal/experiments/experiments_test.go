@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"piccolo/internal/accel"
+	"piccolo/internal/graph"
+)
+
+// tinyOpts keeps the test sweeps fast. Scaled-down distortions are real
+// (DESIGN.md §1), so tests assert robust shapes, not paper magnitudes; the
+// paper-fidelity run is `piccolo-bench -scale small`.
+func tinyOpts() Options { return Options{Scale: graph.ScaleTiny, PRIters: 2} }
+
+func TestTable2(t *testing.T) {
+	tbl := Table2(tinyOpts())
+	if len(tbl.Rows) != 11 { // 5 real + 6 synthetic
+		t.Errorf("Table II rows = %d, want 11", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.String(), "UU") {
+		t.Error("missing dataset rows")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	tbl, rows := Fig3(tinyOpts())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byKey := map[string]Fig3Row{}
+	for _, r := range rows {
+		key := r.Dataset
+		if r.Tiled {
+			key += "+t"
+		}
+		byKey[key] = r
+	}
+	for _, ds := range []string{"TW", "SW", "FS"} {
+		un, ti := byKey[ds], byKey[ds+"+t"]
+		// §III: non-tiling wastes most fetched bytes on fine-grained
+		// random access.
+		if un.UsefulFraction > 0.55 {
+			t.Errorf("%s untiled useful fraction %.2f, want low", ds, un.UsefulFraction)
+		}
+		// Perfect tiling raises hit rate but costs extra reads (topology
+		// repetition).
+		if ti.HitRate <= un.HitRate {
+			t.Errorf("%s perfect tiling hit %.2f not above untiled %.2f", ds, ti.HitRate, un.HitRate)
+		}
+		// Topology reads multiply with the tile count (§II-B t|V| cost).
+		if ti.TopoReads <= un.TopoReads {
+			t.Errorf("%s perfect tiling topo reads %d not above untiled %d (repetition)", ds, ti.TopoReads, un.TopoReads)
+		}
+		if ti.WriteTxns >= un.WriteTxns {
+			t.Errorf("%s perfect tiling writes %d not below untiled %d", ds, ti.WriteTxns, un.WriteTxns)
+		}
+	}
+	_ = tbl.String()
+}
+
+func TestFig9Shapes(t *testing.T) {
+	tbl, results := Fig9(tinyOpts())
+	if len(results) != 8 {
+		t.Fatalf("points = %d, want 8", len(results))
+	}
+	var single8, single4, multi8 float64
+	for _, r := range results {
+		if r.Stride == 8 && !r.MultiRow {
+			single8 = r.Speedup()
+		}
+		if r.Stride == 4 && !r.MultiRow {
+			single4 = r.Speedup()
+		}
+		if r.Stride == 8 && r.MultiRow {
+			multi8 = r.Speedup()
+		}
+	}
+	if single8 < 2.5 {
+		t.Errorf("single-row stride-8 speedup %.2f, want near 4×", single8)
+	}
+	if single4 >= single8 {
+		t.Errorf("stride-4 %.2f not below stride-8 %.2f (halved baseline penalty)", single4, single8)
+	}
+	if multi8 >= single8 || multi8 < 1.1 {
+		t.Errorf("multi-row %.2f out of shape vs single-row %.2f", multi8, single8)
+	}
+	_ = tbl.String()
+}
+
+func TestFig10Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix sweep")
+	}
+	tbl, data := Fig10(tinyOpts())
+	if len(tbl.Rows) != 26 { // 25 cells + GM
+		t.Errorf("rows = %d, want 26", len(tbl.Rows))
+	}
+	for _, sys := range accel.Systems() {
+		if data.Geomean[sys] <= 0 {
+			t.Errorf("%s: no geomean", sys)
+		}
+	}
+	// Robust cross-system shapes (hold even at tiny scale):
+	if data.Geomean[accel.PIM] >= 1 {
+		t.Errorf("PIM GM %.2f, want < baseline", data.Geomean[accel.PIM])
+	}
+	if data.Geomean[accel.Piccolo] <= data.Geomean[accel.PIM] {
+		t.Errorf("Piccolo GM %.2f not above PIM %.2f", data.Geomean[accel.Piccolo], data.Geomean[accel.PIM])
+	}
+	if data.Geomean[accel.Piccolo] <= data.Geomean[accel.NMP]*0.95 {
+		t.Errorf("Piccolo GM %.2f below NMP %.2f", data.Geomean[accel.Piccolo], data.Geomean[accel.NMP])
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix sweep")
+	}
+	_, data := Fig11(tinyOpts())
+	if len(data.Geomean) != 7 {
+		t.Fatalf("designs = %d, want 7", len(data.Geomean))
+	}
+	// The 8B-line ideal must beat the sectored cache (§V-A's capacity
+	// argument), and Piccolo-cache must be close to the 8B-line ideal.
+	if data.Geomean["8b-line"] <= data.Geomean["sectored"] {
+		t.Errorf("8B-line %.2f not above sectored %.2f", data.Geomean["8b-line"], data.Geomean["sectored"])
+	}
+	if data.Geomean["piccolo"] < data.Geomean["8b-line"]*0.80 {
+		t.Errorf("piccolo %.2f far below 8B-line %.2f", data.Geomean["piccolo"], data.Geomean["8b-line"])
+	}
+}
+
+func TestFig12Reduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix sweep")
+	}
+	_, data := Fig12(tinyOpts())
+	if data.MeanReduction <= 0 {
+		t.Errorf("transaction reduction %.3f, want positive (paper: 43.2%%)", data.MeanReduction)
+	}
+}
+
+func TestFig13Bandwidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix sweep")
+	}
+	_, rows := Fig13(tinyOpts())
+	if len(rows) != 75 { // 5 kernels × 5 datasets × 3 systems
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var picInternal, baseInternal float64
+	for _, r := range rows {
+		if r.OffChip <= 0 {
+			t.Errorf("%s/%s/%s: no off-chip bandwidth", r.Kernel, r.Dataset, r.System)
+		}
+		switch r.System {
+		case accel.Piccolo:
+			picInternal += r.Internal
+		case accel.GraphDynsCache:
+			baseInternal += r.Internal
+		}
+	}
+	// Piccolo's gathers show up as internal bandwidth; the baseline has
+	// none (Fig. 13's "Piccolo internal" series).
+	if picInternal <= baseInternal {
+		t.Errorf("piccolo internal bandwidth %.1f not above baseline %.1f", picInternal, baseInternal)
+	}
+}
+
+func TestFig14Energy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix sweep")
+	}
+	_, data := Fig14(tinyOpts())
+	if data.MeanReduction <= 0 {
+		t.Errorf("energy reduction %.3f, want positive (paper: 37.3%%)", data.MeanReduction)
+	}
+}
+
+func TestAreaTable(t *testing.T) {
+	tbl := AreaTable()
+	out := tbl.String()
+	for _, want := range []string{"6.34", "6.60", "4.1%", "126", "4.36"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("area table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig15MemoryTypes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep")
+	}
+	o := tinyOpts()
+	_, rows := Fig15(o)
+	if len(rows) != 60 { // 5 kernels × 6 memories × 2 systems
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// HBM (8 channels) must beat 1-channel DDR4 for the same system.
+	// Higher-bandwidth memory must help the baseline; at tiny scale the
+	// Piccolo/HBM point is bank-bound (few rows per tile — a documented
+	// scaling artifact), so the robust assertion uses the baseline.
+	cyc := map[string]uint64{}
+	for _, r := range rows {
+		if r.Kernel == "PR" && r.System == accel.GraphDynsCache {
+			cyc[r.Config] = r.Cycles
+		}
+	}
+	if cyc["HBM"] >= cyc["DDR4x16"] {
+		t.Errorf("baseline HBM %d cycles not below DDR4x16 %d", cyc["HBM"], cyc["DDR4x16"])
+	}
+	if cyc["GDDR5"] >= cyc["DDR4x16"] {
+		t.Errorf("baseline GDDR5 %d cycles not below DDR4x16 %d", cyc["GDDR5"], cyc["DDR4x16"])
+	}
+}
+
+func TestFig16ChannelsRanks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep")
+	}
+	_, rows := Fig16(tinyOpts())
+	if len(rows) != 60 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	cyc := map[string]uint64{}
+	for _, r := range rows {
+		if r.Kernel == "PR" && r.System == accel.Piccolo {
+			cyc[r.Config] = r.Cycles
+		}
+	}
+	// More channels must not hurt Piccolo.
+	if cyc["DDR4x16-ch2-ra4"] > cyc["DDR4x16-ch1-ra4"] {
+		t.Errorf("2 channels (%d) slower than 1 (%d)", cyc["DDR4x16-ch2-ra4"], cyc["DDR4x16-ch1-ra4"])
+	}
+	// More ranks help Piccolo ("Piccolo provides more speedup since having
+	// more ranks indicates more banks", §VII-G).
+	if cyc["DDR4x16-ch1-ra4"] > cyc["DDR4x16-ch1-ra1"] {
+		t.Errorf("4 ranks (%d) slower than 1 rank (%d)", cyc["DDR4x16-ch1-ra4"], cyc["DDR4x16-ch1-ra1"])
+	}
+}
+
+func TestFig17TileScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep")
+	}
+	_, rows := Fig17(tinyOpts())
+	if len(rows) != 60 { // 5 kernels × 2 systems × 6 factors
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Piccolo must tolerate larger tiles better than the baseline: compare
+	// the ×8/×1 cycle ratios on PR.
+	var b1, b8, p1, p8 uint64
+	for _, r := range rows {
+		if r.Kernel != "PR" {
+			continue
+		}
+		switch {
+		case r.System == accel.GraphDynsCache && r.ScaleFactor == 1:
+			b1 = r.Cycles
+		case r.System == accel.GraphDynsCache && r.ScaleFactor == 8:
+			b8 = r.Cycles
+		case r.System == accel.Piccolo && r.ScaleFactor == 1:
+			p1 = r.Cycles
+		case r.System == accel.Piccolo && r.ScaleFactor == 8:
+			p8 = r.Cycles
+		}
+	}
+	baseRatio := float64(b8) / float64(b1)
+	picRatio := float64(p8) / float64(p1)
+	if picRatio >= baseRatio {
+		t.Errorf("Piccolo ×8/×1 ratio %.2f not below baseline %.2f (larger-tile tolerance)", picRatio, baseRatio)
+	}
+}
+
+func TestFig18Synthetic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic sweep")
+	}
+	_, data := Fig18(tinyOpts())
+	for sys, sp := range data {
+		if len(sp) != 6 {
+			t.Errorf("%s: %d datasets, want 6", sys, len(sp))
+		}
+		for _, s := range sp {
+			if s <= 0 {
+				t.Errorf("%s: non-positive speedup", sys)
+			}
+		}
+	}
+	// Scalability: Piccolo must beat PIM on the largest Kronecker graph.
+	if data[accel.Piccolo][5] <= data[accel.PIM][5] {
+		t.Errorf("KN28: Piccolo %.2f not above PIM %.2f", data[accel.Piccolo][5], data[accel.PIM][5])
+	}
+}
+
+func TestFig19aEdgeCentric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("edge-centric sweep")
+	}
+	_, data := Fig19a(tinyOpts())
+	for name, sp := range data {
+		if len(sp) != 5 {
+			t.Errorf("%s: %d entries", name, len(sp))
+		}
+	}
+	// Piccolo must help the edge-centric engine too (§VII-H) on at least
+	// most datasets.
+	wins := 0
+	for i := range data["EC Piccolo"] {
+		if data["EC Piccolo"][i] > data["EC conven."][i] {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Errorf("EC Piccolo beats EC conventional on only %d/5 datasets", wins)
+	}
+}
+
+func TestFig19bOLAP(t *testing.T) {
+	_, data := Fig19b(tinyOpts())
+	if len(data) != 4 {
+		t.Fatalf("queries = %d", len(data))
+	}
+	for q, sp := range data {
+		if sp < 1.2 {
+			t.Errorf("%s: OLAP speedup %.2f, want > 1.2 (paper ≈ 3.8)", q, sp)
+		}
+	}
+}
+
+func TestFig20aEnhanced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep")
+	}
+	_, rows := Fig20a(tinyOpts())
+	cyc := map[string]uint64{}
+	for _, r := range rows {
+		if r.Kernel == "PR" && r.System == accel.Piccolo {
+			cyc[r.Config] = r.Cycles
+		}
+	}
+	// §VIII-B: the enhanced designs must not be slower.
+	if cyc["DDR4x4-enh"] > cyc["DDR4x4"] {
+		t.Errorf("enhanced x4 (%d) slower than base (%d)", cyc["DDR4x4-enh"], cyc["DDR4x4"])
+	}
+	if cyc["HBM-enh"] > cyc["HBM"] {
+		t.Errorf("enhanced HBM (%d) slower than base (%d)", cyc["HBM-enh"], cyc["HBM"])
+	}
+}
+
+func TestFig20bPrefetch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prefetch sweep")
+	}
+	_, norm := Fig20b(tinyOpts())
+	if len(norm) != 5 {
+		t.Fatalf("entries = %d", len(norm))
+	}
+	for i, n := range norm {
+		if n >= 1 {
+			t.Errorf("dataset %d: no-prefetch relative perf %.2f, want < 1", i, n)
+		}
+	}
+}
+
+func TestRunCacheMemoizes(t *testing.T) {
+	o := tinyOpts()
+	cfg := o.baseCfg(accel.Piccolo, "bfs")
+	a := run(cfg, "UU")
+	b := run(cfg, "UU")
+	if a != b {
+		t.Error("identical configs not memoized")
+	}
+	ResetCache()
+	c := run(cfg, "UU")
+	if a == c {
+		t.Error("ResetCache did not clear the memo")
+	}
+	if a.Cycles != c.Cycles {
+		t.Error("simulation not deterministic across cache resets")
+	}
+}

@@ -1,0 +1,253 @@
+package fim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MicrobenchResult is one point of the Fig. 9 microbenchmark: cycles to
+// read a region at a fixed stride, conventionally versus with Piccolo-FIM.
+type MicrobenchResult struct {
+	Stride        int // stride between touched 8B words, in words
+	MultiRow      bool
+	Words         uint64 // touched words
+	ConvCycles    uint64
+	PiccoloCycles uint64
+}
+
+// Speedup returns conventional/Piccolo cycle ratio.
+func (r MicrobenchResult) Speedup() float64 {
+	if r.PiccoloCycles == 0 {
+		return 0
+	}
+	return float64(r.ConvCycles) / float64(r.PiccoloCycles)
+}
+
+// pattern is the deterministic content of each 8B word, derived from its
+// placement, so every read can be verified.
+func pattern(bank int, row uint64, byteOff int) uint64 {
+	return uint64(bank)<<48 | row<<16 | uint64(byteOff)
+}
+
+// fillRows loads the first `rows` rows of every bank with the pattern.
+func fillRows(e *Emulator, rows uint64) error {
+	buf := make([]byte, e.Cfg.RowBytes)
+	for b := 0; b < e.Cfg.Banks; b++ {
+		for r := uint64(0); r < rows; r++ {
+			for off := 0; off+8 <= e.Cfg.RowBytes; off += 8 {
+				binary.LittleEndian.PutUint64(buf[off:], pattern(b, r, off))
+			}
+			if err := e.LoadRow(b, r, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Microbench reproduces Fig. 9: read totalBytes of data touched at the
+// given stride (in 8B words), either confined to one row per bank
+// (single-row: rows stay open, Fig. 9a) or streaming across rows
+// (multi-row: activations on the critical path, Fig. 9b). Touched words are
+// interleaved across banks, as the 16-bank FPGA platform does, so both the
+// conventional and the Piccolo run exploit bank-level parallelism. Every
+// value read is verified against the stored pattern.
+func Microbench(cfg Config, totalBytes uint64, stride int, multiRow bool) (MicrobenchResult, error) {
+	res := MicrobenchResult{Stride: stride, MultiRow: multiRow}
+	if stride <= 0 {
+		return res, fmt.Errorf("fim: stride must be positive")
+	}
+	wordsPerRow := uint64(cfg.RowBytes / 8)
+	if uint64(stride)*uint64(cfg.FIMItems) > wordsPerRow {
+		return res, fmt.Errorf("fim: stride %d too large for %dB rows", stride, cfg.RowBytes)
+	}
+	words := totalBytes / (8 * uint64(stride))
+	if words == 0 {
+		return res, fmt.Errorf("fim: region too small")
+	}
+	res.Words = words
+	banks := uint64(cfg.Banks)
+	perBank := (words + banks - 1) / banks
+
+	// locate maps the i-th touched word of a bank to (row, byteOffset).
+	locate := func(local uint64) (uint64, int) {
+		w := local * uint64(stride)
+		if !multiRow {
+			return 0, int(w%wordsPerRow) * 8
+		}
+		return w / wordsPerRow, int(w%wordsPerRow) * 8
+	}
+	maxRows := uint64(1)
+	if multiRow {
+		maxRows = (perBank*uint64(stride) + wordsPerRow - 1) / wordsPerRow
+	}
+
+	// Conventional: one 64B burst read per touched line.
+	{
+		e := New(cfg)
+		if err := fillRows(e, maxRows); err != nil {
+			return res, err
+		}
+		h := NewHost(e)
+		lastLine := make([]int64, cfg.Banks)
+		for i := range lastLine {
+			lastLine[i] = -1
+		}
+		for local := uint64(0); local < perBank; local++ {
+			for b := 0; b < cfg.Banks; b++ {
+				row, off := locate(local)
+				line := int64(row)*int64(cfg.RowBytes/cfg.BurstSize) + int64(off/cfg.BurstSize)
+				if line == lastLine[b] {
+					continue // same burst already fetched (stride 4: two words per line)
+				}
+				lastLine[b] = line
+				data, err := h.ReadLine(b, row, off/cfg.BurstSize)
+				if err != nil {
+					return res, err
+				}
+				got := binary.LittleEndian.Uint64(data[off%cfg.BurstSize:])
+				if want := pattern(b, row, off); got != want {
+					return res, fmt.Errorf("fim: conventional read bank %d row %d off %d: got %#x want %#x", b, row, off, got, want)
+				}
+			}
+		}
+		res.ConvCycles = e.Clock()
+	}
+
+	// Piccolo: software-pipelined gathers of FIMItems words, round-robin
+	// across banks.
+	{
+		e := New(cfg)
+		if err := fillRows(e, maxRows); err != nil {
+			return res, err
+		}
+		k := uint64(cfg.FIMItems)
+		type batch struct {
+			bank    int
+			row     uint64
+			valid   int
+			offsets []uint16
+			burst   []byte
+		}
+		cursors := make([]uint64, cfg.Banks)
+		remaining := func() bool {
+			for _, c := range cursors {
+				if c < perBank {
+					return true
+				}
+			}
+			return false
+		}
+		for remaining() {
+			// Build this round's per-bank batches.
+			round := make([]batch, 0, cfg.Banks)
+			for b := 0; b < cfg.Banks; b++ {
+				if cursors[b] >= perBank {
+					continue
+				}
+				bt := batch{bank: b, offsets: make([]uint16, 0, k)}
+				for uint64(len(bt.offsets)) < k && cursors[b] < perBank {
+					row, off := locate(cursors[b])
+					if len(bt.offsets) == 0 {
+						bt.row = row
+					}
+					if row != bt.row {
+						break // rest of this row continues next round
+					}
+					bt.offsets = append(bt.offsets, uint16(off))
+					cursors[b]++
+				}
+				bt.valid = len(bt.offsets)
+				for uint64(len(bt.offsets)) < k {
+					// Pad partial operations by repeating the first offset;
+					// hardware ignores the surplus lanes.
+					bt.offsets = append(bt.offsets, bt.offsets[0])
+				}
+				bt.burst = make([]byte, cfg.BurstSize)
+				for i, o := range bt.offsets {
+					binary.LittleEndian.PutUint16(bt.burst[2*i:], o)
+				}
+				round = append(round, bt)
+			}
+
+			// Issue the round as command waves, the way a pipelined memory
+			// controller interleaves independent banks: every wave touches
+			// all banks before the next command type, so each bank's
+			// tRP/tRCD/window latencies overlap the other banks' traffic.
+			for _, bt := range round { // open target rows
+				phys, err := e.PhysOpen(bt.bank)
+				if err != nil {
+					return res, err
+				}
+				if phys == int64(bt.row) {
+					continue
+				}
+				if vis, _ := e.VisOpen(bt.bank); vis >= 0 {
+					if err := e.Precharge(bt.bank); err != nil {
+						return res, err
+					}
+				}
+				if err := e.Activate(bt.bank, bt.row); err != nil {
+					return res, err
+				}
+			}
+			for _, bt := range round { // close controller view
+				if vis, _ := e.VisOpen(bt.bank); vis >= 0 {
+					if err := e.Precharge(bt.bank); err != nil {
+						return res, err
+					}
+				}
+			}
+			for _, bt := range round { // open virtual row Y (no-op inside)
+				if err := e.Activate(bt.bank, VirtRowY); err != nil {
+					return res, err
+				}
+			}
+			for _, bt := range round { // write offset buffers, gathers start
+				if err := e.Write(bt.bank, ColOffsetBuf, bt.burst); err != nil {
+					return res, err
+				}
+			}
+			for _, bt := range round { // switch to virtual row Z
+				if err := e.Precharge(bt.bank); err != nil {
+					return res, err
+				}
+			}
+			for _, bt := range round {
+				if err := e.Activate(bt.bank, VirtRowZ); err != nil {
+					return res, err
+				}
+			}
+			for _, bt := range round { // read data buffers
+				data, err := e.Read(bt.bank, ColDataBuf)
+				if err != nil {
+					return res, err
+				}
+				for j := 0; j < bt.valid; j++ {
+					got := binary.LittleEndian.Uint64(data[8*j:])
+					if want := pattern(bt.bank, bt.row, int(bt.offsets[j])); got != want {
+						return res, fmt.Errorf("fim: gather bank %d row %d off %d: got %#x want %#x", bt.bank, bt.row, bt.offsets[j], got, want)
+					}
+				}
+			}
+		}
+		res.PiccoloCycles = e.Clock()
+	}
+	return res, nil
+}
+
+// MicrobenchSweep runs the Fig. 9 sweep (strides 4, 8, 16, 32 in both row
+// modes) at the given region size.
+func MicrobenchSweep(cfg Config, totalBytes uint64) ([]MicrobenchResult, error) {
+	var out []MicrobenchResult
+	for _, multiRow := range []bool{false, true} {
+		for _, stride := range []int{4, 8, 16, 32} {
+			r, err := Microbench(cfg, totalBytes, stride, multiRow)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary interchange format (little-endian):
+//
+//	magic   [8]byte "PICGRAF1"
+//	nameLen uint32, name bytes
+//	V       uint32
+//	E       uint64
+//	RowPtr  (V+1) × uint64
+//	Col     E × uint32
+//	Weight  E × uint8
+const magic = "PICGRAF1"
+
+// Write serializes the graph to w in the binary interchange format.
+func (g *CSR) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(g.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(g.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.V); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.E()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.RowPtr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Col); err != nil {
+		return err
+	}
+	if _, err := bw.Write(g.Weight); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a graph written by Write and validates it.
+func Read(r io.Reader) (*CSR, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", head)
+	}
+	var nameLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("graph: unreasonable name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	g := &CSR{Name: string(name)}
+	if err := binary.Read(br, binary.LittleEndian, &g.V); err != nil {
+		return nil, err
+	}
+	var e uint64
+	if err := binary.Read(br, binary.LittleEndian, &e); err != nil {
+		return nil, err
+	}
+	if e > 1<<34 {
+		return nil, fmt.Errorf("graph: unreasonable edge count %d", e)
+	}
+	g.RowPtr = make([]uint64, g.V+1)
+	if err := binary.Read(br, binary.LittleEndian, &g.RowPtr); err != nil {
+		return nil, err
+	}
+	g.Col = make([]uint32, e)
+	if err := binary.Read(br, binary.LittleEndian, &g.Col); err != nil {
+		return nil, err
+	}
+	g.Weight = make([]uint8, e)
+	if _, err := io.ReadFull(br, g.Weight); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteFile writes the graph to path.
+func (g *CSR) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a graph from path.
+func ReadFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

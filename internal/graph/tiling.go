@@ -1,0 +1,118 @@
+package graph
+
+import "fmt"
+
+// Tile holds the edges of one destination-range partition, grouped by source
+// vertex. Sources appear in ascending order; the edges of Src[i] live in
+// Dst/W[EdgeStart[i]:EdgeStart[i+1]]. This mirrors the per-tile CSR slices
+// that tiling-based accelerators stream ("the row indices separately exist
+// for each tile", §II-B).
+type Tile struct {
+	DstLo, DstHi uint32 // destination vertex range [DstLo, DstHi)
+	Src          []uint32
+	EdgeStart    []uint32
+	Dst          []uint32
+	W            []uint8
+}
+
+// Edges returns the number of edges in the tile.
+func (t *Tile) Edges() int { return len(t.Dst) }
+
+// Tiling partitions a graph's destination vertices into fixed-width ranges
+// (graph tiling per GridGraph [107]): tile k owns destinations
+// [k*Width, (k+1)*Width).
+type Tiling struct {
+	G     *CSR
+	Width uint32
+	Tiles []Tile
+}
+
+// NewTiling builds the destination-range tiling with the given width.
+// width == 0 or width >= V yields a single tile (the non-tiling case).
+func NewTiling(g *CSR, width uint32) *Tiling {
+	if width == 0 || width >= g.V {
+		width = g.V
+	}
+	n := int((g.V + width - 1) / width)
+	t := &Tiling{G: g, Width: width, Tiles: make([]Tile, n)}
+
+	// Count edges per tile, then bucket them preserving source order (the
+	// CSR scan is already ascending in src, so per-tile edge runs stay
+	// grouped and sorted by source).
+	counts := make([]uint32, n)
+	for _, v := range g.Col {
+		counts[v/width]++
+	}
+	for k := range t.Tiles {
+		tl := &t.Tiles[k]
+		tl.DstLo = uint32(k) * width
+		tl.DstHi = tl.DstLo + width
+		if tl.DstHi > g.V {
+			tl.DstHi = g.V
+		}
+		tl.Dst = make([]uint32, 0, counts[k])
+		tl.W = make([]uint8, 0, counts[k])
+	}
+	lastSrc := make([]int64, n)
+	for k := range lastSrc {
+		lastSrc[k] = -1
+	}
+	for u := uint32(0); u < g.V; u++ {
+		dsts, ws := g.Neighbors(u)
+		for i, v := range dsts {
+			k := v / width
+			tl := &t.Tiles[k]
+			if lastSrc[k] != int64(u) {
+				tl.Src = append(tl.Src, u)
+				tl.EdgeStart = append(tl.EdgeStart, uint32(len(tl.Dst)))
+				lastSrc[k] = int64(u)
+			}
+			tl.Dst = append(tl.Dst, v)
+			tl.W = append(tl.W, ws[i])
+		}
+	}
+	for k := range t.Tiles {
+		tl := &t.Tiles[k]
+		tl.EdgeStart = append(tl.EdgeStart, uint32(len(tl.Dst)))
+	}
+	return t
+}
+
+// NumTiles returns the number of destination ranges.
+func (t *Tiling) NumTiles() int { return len(t.Tiles) }
+
+// Validate checks that the tiling partitions the edge set exactly: every
+// edge appears in exactly one tile, inside its destination range, grouped
+// under its source.
+func (t *Tiling) Validate() error {
+	var total uint64
+	for k := range t.Tiles {
+		tl := &t.Tiles[k]
+		if len(tl.EdgeStart) != len(tl.Src)+1 {
+			return fmt.Errorf("tiling: tile %d has %d sources but %d edge starts", k, len(tl.Src), len(tl.EdgeStart))
+		}
+		for i := range tl.Src {
+			if i > 0 && tl.Src[i] <= tl.Src[i-1] {
+				return fmt.Errorf("tiling: tile %d sources not ascending at %d", k, i)
+			}
+			for e := tl.EdgeStart[i]; e < tl.EdgeStart[i+1]; e++ {
+				if tl.Dst[e] < tl.DstLo || tl.Dst[e] >= tl.DstHi {
+					return fmt.Errorf("tiling: tile %d edge to %d outside [%d,%d)", k, tl.Dst[e], tl.DstLo, tl.DstHi)
+				}
+			}
+		}
+		total += uint64(len(tl.Dst))
+	}
+	if total != t.G.E() {
+		return fmt.Errorf("tiling: %d edges across tiles, graph has %d", total, t.G.E())
+	}
+	return nil
+}
+
+// TopologyBytes estimates the topology traffic of streaming this tile for
+// the given number of active sources present in the tile and their edges:
+// one row-index entry (8B: offset+degree) per active source plus 4B per
+// column index, matching the paper's CSR cost model (§II-B).
+func TopologyBytes(activeSrcs, activeEdges uint64) uint64 {
+	return activeSrcs*8 + activeEdges*4
+}

@@ -1,0 +1,68 @@
+// Package mshr implements miss handling: a conventional MSHR (merge misses
+// to the same fill block) and the collection-extended MSHR of §V-C, which
+// groups fine-grained misses and writebacks by DRAM row so they can be
+// served by Piccolo-FIM gathers and scatters (or, keyed by rank, by the NMP
+// baseline's buffer chip).
+package mshr
+
+// Stats counts MSHR behaviour.
+type Stats struct {
+	Allocs     uint64 // new block/offset registrations
+	Merges     uint64 // secondary misses merged into an existing entry
+	FullStalls uint64 // allocation attempts rejected for capacity
+	Flushes    uint64 // collection entries dispatched
+	Partial    uint64 // dispatched with fewer than ItemsPerOp offsets
+	Served     uint64 // read misses served from pending write-back data
+}
+
+// Conventional is a fully-associative MSHR keyed by fill-block address.
+// Subentries are counted, not stored: the engine only needs to know how
+// many stalled accesses resume when a fill returns.
+type Conventional struct {
+	capacity int
+	entries  map[uint64]int
+	Stats    Stats
+}
+
+// NewConventional returns an MSHR with the given entry capacity.
+func NewConventional(capacity int) *Conventional {
+	return &Conventional{capacity: capacity, entries: make(map[uint64]int, capacity)}
+}
+
+// Len returns the number of in-flight blocks.
+func (m *Conventional) Len() int { return len(m.entries) }
+
+// Lookup reports whether a fill for the block is in flight.
+func (m *Conventional) Lookup(block uint64) bool {
+	_, ok := m.entries[block]
+	return ok
+}
+
+// Register records a miss on block. It returns (allocated=false,
+// merged=true) for secondary misses, (true, false) for a fresh allocation,
+// and (false, false) when the MSHR is full (the requester must stall).
+func (m *Conventional) Register(block uint64) (allocated, merged bool) {
+	if n, ok := m.entries[block]; ok {
+		m.entries[block] = n + 1
+		m.Stats.Merges++
+		return false, true
+	}
+	if len(m.entries) >= m.capacity {
+		m.Stats.FullStalls++
+		return false, false
+	}
+	m.entries[block] = 1
+	m.Stats.Allocs++
+	return true, false
+}
+
+// Complete removes the block entry, returning how many merged accesses it
+// carried (0 when the block was not registered).
+func (m *Conventional) Complete(block uint64) int {
+	n, ok := m.entries[block]
+	if !ok {
+		return 0
+	}
+	delete(m.entries, block)
+	return n
+}

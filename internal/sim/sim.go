@@ -1,0 +1,104 @@
+// Package sim provides the simulation kernel: a deterministic event queue
+// over a global cycle clock. The accelerator engine drives its own local
+// time and drains due events (DRAM command completions, buffer flushes)
+// before every state-changing access, so components never tick per cycle —
+// the whole reproduction is event-driven, which keeps full-figure sweeps
+// tractable (DESIGN.md §5).
+package sim
+
+import "container/heap"
+
+type event struct {
+	at  uint64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (event, bool) { // only valid when non-empty
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// Queue is a deterministic future-event list. Events scheduled for the same
+// cycle run in scheduling order. The zero value is ready to use.
+type Queue struct {
+	now uint64
+	seq uint64
+	h   eventHeap
+}
+
+// Now returns the current simulated cycle.
+func (q *Queue) Now() uint64 { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule registers fn to run at absolute cycle at. Scheduling in the past
+// runs the event at the current time (it fires on the next drain).
+func (q *Queue) Schedule(at uint64, fn func()) {
+	if at < q.now {
+		at = q.now
+	}
+	heap.Push(&q.h, event{at: at, seq: q.seq, fn: fn})
+	q.seq++
+}
+
+// After registers fn to run delay cycles from now.
+func (q *Queue) After(delay uint64, fn func()) { q.Schedule(q.now+delay, fn) }
+
+// PeekTime returns the cycle of the earliest pending event.
+func (q *Queue) PeekTime() (uint64, bool) {
+	e, ok := q.h.peek()
+	return e.at, ok
+}
+
+// RunNext pops and executes the earliest event, advancing the clock to its
+// time. It reports whether an event ran.
+func (q *Queue) RunNext() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(event)
+	if e.at > q.now {
+		q.now = e.at
+	}
+	e.fn()
+	return true
+}
+
+// RunUntil executes every event due at or before cycle t, then advances the
+// clock to t (if it is not already past it).
+func (q *Queue) RunUntil(t uint64) {
+	for {
+		e, ok := q.h.peek()
+		if !ok || e.at > t {
+			break
+		}
+		q.RunNext()
+	}
+	if q.now < t {
+		q.now = t
+	}
+}
+
+// Drain executes all pending events (including ones scheduled while
+// draining) and returns the final clock value.
+func (q *Queue) Drain() uint64 {
+	for q.RunNext() {
+	}
+	return q.now
+}

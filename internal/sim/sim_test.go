@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndDrain(t *testing.T) {
+	var q Queue
+	var order []int
+	q.Schedule(10, func() { order = append(order, 1) })
+	q.Schedule(5, func() { order = append(order, 0) })
+	q.Schedule(10, func() { order = append(order, 2) }) // same cycle: FIFO
+	end := q.Drain()
+	if end != 10 {
+		t.Errorf("Drain returned %d, want 10", end)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("execution order %v, want [0 1 2]", order)
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	var q Queue
+	var at uint64
+	q.Schedule(7, func() {
+		q.After(3, func() { at = q.Now() })
+	})
+	q.Drain()
+	if at != 10 {
+		t.Errorf("nested After fired at %d, want 10", at)
+	}
+}
+
+func TestSchedulePastClamps(t *testing.T) {
+	var q Queue
+	q.Schedule(100, func() {})
+	q.RunNext()
+	fired := uint64(0)
+	q.Schedule(50, func() { fired = q.Now() }) // in the past
+	q.Drain()
+	if fired != 100 {
+		t.Errorf("past event fired at %d, want clamped to 100", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var ran []uint64
+	for _, at := range []uint64{3, 6, 9} {
+		at := at
+		q.Schedule(at, func() { ran = append(ran, at) })
+	}
+	q.RunUntil(6)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil(6) executed %v, want events at 3 and 6", ran)
+	}
+	if q.Now() != 6 {
+		t.Errorf("Now = %d, want 6", q.Now())
+	}
+	q.RunUntil(4) // must not rewind
+	if q.Now() != 6 {
+		t.Errorf("Now after RunUntil(4) = %d, want 6", q.Now())
+	}
+	if q.Len() != 1 {
+		t.Errorf("pending = %d, want 1", q.Len())
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Error("PeekTime on empty queue reported an event")
+	}
+	q.Schedule(42, func() {})
+	if at, ok := q.PeekTime(); !ok || at != 42 {
+		t.Errorf("PeekTime = %d,%v, want 42,true", at, ok)
+	}
+}
+
+// Property: events always run in nondecreasing time order, and same-time
+// events run in scheduling order, regardless of insertion order.
+func TestOrderingProperty(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		type fired struct{ at, seq uint64 }
+		var log []fired
+		for i, r := range raw {
+			at := uint64(r % 32)
+			seq := uint64(i)
+			q.Schedule(at, func() { log = append(log, fired{q.Now(), seq}) })
+			// Occasionally interleave execution with scheduling.
+			if rng.Intn(4) == 0 {
+				q.RunNext()
+			}
+		}
+		q.Drain()
+		if len(log) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(log); i++ {
+			if log[i].at < log[i-1].at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{2, 8}, 4},
+		{[]float64{4}, 4},
+		{nil, 0},
+		{[]float64{0, 2, 8}, 4}, // non-positive skipped
+		{[]float64{-1}, 0},
+	}
+	for _, c := range cases {
+		got := Geomean(c.in)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Geomean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := float64(r) + 1
+			xs = append(xs, x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if len(xs) == 0 {
+			return Geomean(xs) == 0
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Percentile(xs, 50); got != 2 {
+		t.Errorf("P50 = %v, want 2", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("P100 = %v, want 4", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("P50(nil) = %v, want 0", got)
+	}
+	// Percentile must not mutate its input.
+	if xs[0] != 4 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(6, 3); got != 2 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := Ratio(6, 0); got != 0 {
+		t.Errorf("Ratio/0 = %v, want 0", got)
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	s := NewSet()
+	s.Add("reads", 3)
+	s.Get("writes").Inc()
+	s.Add("reads", 2)
+	if got := s.Value("reads"); got != 5 {
+		t.Errorf("reads = %d, want 5", got)
+	}
+	if got := s.Value("writes"); got != 1 {
+		t.Errorf("writes = %d, want 1", got)
+	}
+	if got := s.Value("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "reads" || names[1] != "writes" {
+		t.Errorf("Names = %v, want insertion order", names)
+	}
+
+	other := NewSet()
+	other.Add("reads", 10)
+	other.Add("acts", 7)
+	s.Merge(other)
+	if got := s.Value("reads"); got != 15 {
+		t.Errorf("merged reads = %d, want 15", got)
+	}
+	if got := s.Value("acts"); got != 7 {
+		t.Errorf("merged acts = %d, want 7", got)
+	}
+	s.Merge(nil) // must not panic
+
+	if str := s.String(); !strings.Contains(str, "reads=15") {
+		t.Errorf("String = %q", str)
+	}
+	s.Reset()
+	if got := s.Value("reads"); got != 0 {
+		t.Errorf("after reset reads = %d", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig. X", "name", "value")
+	tb.AddRow("alpha", F2(1.5))
+	tb.AddRow("beta", Pct(0.125))
+	tb.AddNote("scaled by %d", 4)
+	out := tb.String()
+	for _, want := range []string{"Fig. X", "alpha", "1.50", "12.5%", "scaled by 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"### Fig. X", "| name | value |", "| alpha | 1.50 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := F(0); got != "0" {
+		t.Errorf("F(0) = %q", got)
+	}
+	if got := F(12345); got != "12345" {
+		t.Errorf("F(12345) = %q", got)
+	}
+	if got := F(12.34); got != "12.3" {
+		t.Errorf("F(12.34) = %q", got)
+	}
+	if got := F(1.23456); got != "1.235" {
+		t.Errorf("F(1.23456) = %q", got)
+	}
+	if got := I(42); got != "42" {
+		t.Errorf("I(42) = %q", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package piccolo is the public API of the Piccolo reproduction — a
+// simulation library for the HPCA 2025 paper "Piccolo: Large-Scale Graph
+// Processing with Fine-Grained In-Memory Scatter-Gather" (Shin et al.,
+// arXiv:2503.05116).
+//
+// The library simulates, functionally and with event-driven timing, a graph
+// processing accelerator attached to a DRAM substrate that supports
+// Piccolo's in-memory random scatter-gather (Piccolo-FIM), the Piccolo
+// cache + collection-extended MSHR (Piccolo-cache), and the five baseline
+// systems the paper compares against. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Quick start:
+//
+//	g := piccolo.MustDataset("SW", piccolo.ScaleSmall)
+//	res, err := piccolo.Run(piccolo.Config{
+//		System: piccolo.SystemPiccolo,
+//		Kernel: "bfs",
+//		Scale:  piccolo.ScaleSmall,
+//		Src:    -1,
+//	}, g)
+//	fmt.Println(res.Cycles, res.Energy.Total())
+package piccolo
+
+import (
+	"fmt"
+
+	"piccolo/internal/accel"
+	"piccolo/internal/algorithms"
+	"piccolo/internal/core"
+	"piccolo/internal/dram"
+	"piccolo/internal/graph"
+)
+
+// System identifies one of the six simulated accelerator systems.
+type System = accel.System
+
+// The evaluated systems (Fig. 10).
+const (
+	SystemGraphicionado  = accel.Graphicionado
+	SystemGraphDynsSPM   = accel.GraphDynsSPM
+	SystemGraphDynsCache = accel.GraphDynsCache
+	SystemNMP            = accel.NMP
+	SystemPIM            = accel.PIM
+	SystemPiccolo        = accel.Piccolo
+)
+
+// Systems returns all six systems in the paper's presentation order.
+func Systems() []System { return accel.Systems() }
+
+// Scale selects dataset-proxy and on-chip capacity scale (DESIGN.md §1).
+type Scale = graph.Scale
+
+// Available scales.
+const (
+	ScaleTiny   = graph.ScaleTiny
+	ScaleSmall  = graph.ScaleSmall
+	ScaleMedium = graph.ScaleMedium
+)
+
+// Config selects a system, kernel and the knobs the paper sweeps; zero
+// values mean "paper default". See internal/core.Config for field docs.
+type Config = core.Config
+
+// Result bundles cycles, functional output, memory/cache statistics,
+// bandwidths and the Fig. 14 energy breakdown.
+type Result = core.Result
+
+// Graph is a weighted directed graph in CSR form.
+type Graph = graph.CSR
+
+// MemoryConfig describes a DRAM configuration (device type, channels,
+// ranks, timing, FIM parameters).
+type MemoryConfig = dram.Config
+
+// Memory presets (Fig. 15).
+func DDR4(width int) MemoryConfig { return dram.DDR4(width) }
+func LPDDR4() MemoryConfig        { return dram.LPDDR4() }
+func GDDR5() MemoryConfig         { return dram.GDDR5() }
+func HBM() MemoryConfig           { return dram.HBM() }
+
+// Enhanced applies the §VIII-B design tweaks to a memory configuration.
+func Enhanced(cfg MemoryConfig) MemoryConfig { return dram.Enhanced(cfg) }
+
+// Kernels returns the kernel names accepted by Config.Kernel.
+func Kernels() []string { return []string{"pr", "bfs", "cc", "sssp", "sswp"} }
+
+// Run simulates the configured system executing the kernel on g.
+func Run(cfg Config, g *Graph) (*Result, error) { return core.Run(cfg, g) }
+
+// Validate re-executes the kernel with the simulation-free reference and
+// checks the simulated vertex properties bit-for-bit.
+func Validate(cfg Config, g *Graph, res *Result) error { return core.Validate(cfg, g, res) }
+
+// Dataset builds one of the paper's Table II dataset proxies by name
+// (UU, TW, SW, FS, PP, WS26, WS27, KN25..KN28).
+func Dataset(name string, sc Scale) (*Graph, error) {
+	d, err := graph.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.Build(sc), nil
+}
+
+// MustDataset is Dataset for known-good names.
+func MustDataset(name string, sc Scale) *Graph {
+	g, err := Dataset(name, sc)
+	if err != nil {
+		panic(fmt.Sprintf("piccolo: %v", err))
+	}
+	return g
+}
+
+// Generate exposes the synthetic generators for custom workloads.
+func GenerateKronecker(name string, scale, edgeFactor int, seed int64) *Graph {
+	return graph.Kronecker(name, scale, edgeFactor, seed)
+}
+
+// GenerateUniform generates an Erdős–Rényi-style random graph.
+func GenerateUniform(name string, v uint32, avgDeg float64, seed int64) *Graph {
+	return graph.Uniform(name, v, avgDeg, seed)
+}
+
+// GenerateWattsStrogatz generates a small-world graph.
+func GenerateWattsStrogatz(name string, v uint32, k int, beta float64, seed int64) *Graph {
+	return graph.WattsStrogatz(name, v, k, beta, seed)
+}
+
+// LoadGraph reads a graph from the binary interchange format (cmd/graphgen
+// writes it).
+func LoadGraph(path string) (*Graph, error) { return graph.ReadFile(path) }
+
+// Reference runs the simulation-free executor and returns the converged
+// vertex properties and iteration count — handy for validating custom
+// workloads.
+func Reference(kernel string, g *Graph, src uint32, maxIters int) ([]uint64, int, error) {
+	k, err := algorithms.New(kernel)
+	if err != nil {
+		return nil, 0, err
+	}
+	ref := algorithms.RunReference(g, k, src, maxIters)
+	return ref.Prop, ref.Iterations, nil
+}

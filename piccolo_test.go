@@ -1,0 +1,67 @@
+package piccolo
+
+import "testing"
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g := MustDataset("UU", ScaleTiny)
+	cfg := Config{System: SystemPiccolo, Kernel: "bfs", Scale: ScaleTiny, Src: -1}
+	res, err := Run(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles")
+	}
+	if err := Validate(cfg, g, res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	if _, err := Dataset("NOPE", ScaleTiny); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	for _, name := range []string{"UU", "TW", "SW", "FS", "PP"} {
+		g, err := Dataset(name, ScaleTiny)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if g := GenerateKronecker("k", 8, 4, 1); g.E() == 0 {
+		t.Error("kronecker empty")
+	}
+	if g := GenerateUniform("u", 100, 3, 1); g.E() == 0 {
+		t.Error("uniform empty")
+	}
+	if g := GenerateWattsStrogatz("w", 100, 4, 0.1, 1); g.E() == 0 {
+		t.Error("ws empty")
+	}
+}
+
+func TestFacadeReference(t *testing.T) {
+	g := GenerateKronecker("k", 8, 4, 7)
+	prop, iters, err := Reference("cc", g, 0, 50)
+	if err != nil || iters == 0 || len(prop) != int(g.V) {
+		t.Fatalf("reference: %v iters=%d", err, iters)
+	}
+	if _, _, err := Reference("nope", g, 0, 1); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestFacadeMemoryPresets(t *testing.T) {
+	for _, mc := range []MemoryConfig{DDR4(16), DDR4(8), LPDDR4(), GDDR5(), HBM(), Enhanced(HBM())} {
+		if mc.PeakBandwidthGBps() <= 0 {
+			t.Errorf("%s: no bandwidth", mc.Name)
+		}
+	}
+	if len(Systems()) != 6 || len(Kernels()) != 5 {
+		t.Error("enumerations wrong")
+	}
+}
