@@ -1,10 +1,14 @@
 // Command piccolo-bench regenerates every table and figure of the paper's
 // evaluation (§VII, §VIII) as text tables, and optionally as a markdown
-// report (the source of EXPERIMENTS.md's measured columns).
+// report (the source of EXPERIMENTS.md's measured columns). Simulations
+// run in parallel across -workers cores through the sweep runner
+// (DESIGN.md §7); results are cached across figures, so overlapping
+// figures (Fig. 10/12/13/14 share their baselines) simulate each cell
+// once.
 //
 // Usage:
 //
-//	piccolo-bench [-scale tiny|small|medium] [-only fig10,fig14] [-md out.md]
+//	piccolo-bench [-scale tiny|small|medium] [-workers N] [-only fig10,fig14] [-md out.md]
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 
 	"piccolo/internal/experiments"
 	"piccolo/internal/graph"
+	"piccolo/internal/runner"
 	"piccolo/internal/stats"
 )
 
@@ -24,21 +29,16 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig10,fig19b); empty = all")
 	mdPath := flag.String("md", "", "also write a markdown report to this path")
 	prIters := flag.Int("pr-iters", 3, "PageRank iteration cap")
+	workers := flag.Int("workers", 0, "parallel simulation workers; <= 0 selects GOMAXPROCS")
 	flag.Parse()
 
-	var sc graph.Scale
-	switch *scaleFlag {
-	case "tiny":
-		sc = graph.ScaleTiny
-	case "small":
-		sc = graph.ScaleSmall
-	case "medium":
-		sc = graph.ScaleMedium
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+	sc, err := graph.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
-	o := experiments.Options{Scale: sc, PRIters: *prIters}
+	r := runner.New(*workers)
+	o := experiments.Options{Scale: sc, PRIters: *prIters, Runner: r}
 
 	type exp struct {
 		id  string
@@ -90,4 +90,7 @@ func main() {
 		}
 		fmt.Printf("markdown report written to %s\n", *mdPath)
 	}
+	s := r.Stats()
+	fmt.Printf("runner: %d workers, %d simulations, %d cache hits (%.1f%% hit rate)\n",
+		r.Workers(), s.Misses, s.Hits, 100*s.HitRate())
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"piccolo/internal/core"
+	"piccolo/internal/runner"
+)
+
+// batcher micro-batches single-job requests: jobs arriving within one
+// collection window (or up to max of them) are submitted to the runner as
+// one sweep. Identical concurrent jobs then collapse in the runner's
+// single-flight cache, and distinct ones saturate the worker pool instead
+// of arriving one at a time.
+type batcher struct {
+	r      *runner.Runner
+	window time.Duration
+	max    int
+	in     chan pending
+	n      atomic.Uint64 // batches flushed
+}
+
+type pending struct {
+	job runner.Job
+	out chan outcome
+}
+
+type outcome struct {
+	res *core.Result
+	err error
+}
+
+func newBatcher(r *runner.Runner, window time.Duration, max int) *batcher {
+	if max < 1 {
+		max = 1
+	}
+	b := &batcher{r: r, window: window, max: max, in: make(chan pending)}
+	go b.loop()
+	return b
+}
+
+// batches returns the number of sweeps flushed so far.
+func (b *batcher) batches() uint64 { return b.n.Load() }
+
+// run submits one job and blocks until its batch completes.
+func (b *batcher) run(job runner.Job) (*core.Result, error) {
+	out := make(chan outcome, 1)
+	b.in <- pending{job: job, out: out}
+	o := <-out
+	return o.res, o.err
+}
+
+// loop collects arrivals into batches. Each flush runs on its own
+// goroutine so collection continues while a batch executes; the runner's
+// worker pool bounds actual simulation concurrency.
+func (b *batcher) loop() {
+	for p := range b.in {
+		batch := []pending{p}
+		if b.window > 0 {
+			timer := time.NewTimer(b.window)
+		collect:
+			for len(batch) < b.max {
+				select {
+				case q := <-b.in:
+					batch = append(batch, q)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		b.n.Add(1)
+		go b.flush(batch)
+	}
+}
+
+// flush fans the batch out through the runner (whose worker pool bounds
+// concurrency and whose cache collapses duplicates) and delivers each
+// request its own result or its own error.
+func (b *batcher) flush(batch []pending) {
+	var wg sync.WaitGroup
+	for _, p := range batch {
+		wg.Add(1)
+		go func(p pending) {
+			defer wg.Done()
+			res, err := b.r.Run(p.job)
+			p.out <- outcome{res: res, err: err}
+		}(p)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,333 @@
+// Command piccolo-serve exposes the simulation engine over HTTP as a
+// batch API backed by the sweep runner (DESIGN.md §7): POST /run accepts
+// one job, POST /sweep accepts a batch, and both funnel into one shared
+// worker pool and content-addressed result cache, so concurrent clients
+// asking for overlapping configurations simulate each cell once.
+//
+// Single-job requests are additionally micro-batched: a dispatcher
+// collects the /run jobs that arrive within -batch-window (or up to
+// -batch-max of them) and submits them to the runner as one sweep, which
+// keeps the pool saturated under many small concurrent requests.
+//
+// Usage:
+//
+//	piccolo-serve [-addr :8642] [-workers N] [-batch-window 2ms] [-batch-max 64]
+//
+// See DESIGN.md §8 for the request/response schema and a quickstart.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"piccolo/internal/accel"
+	"piccolo/internal/algorithms"
+	"piccolo/internal/cache"
+	"piccolo/internal/core"
+	"piccolo/internal/dram"
+	"piccolo/internal/graph"
+	"piccolo/internal/runner"
+)
+
+// jobRequest is the JSON wire form of one runner.Job. Zero values mean
+// "paper default", exactly as in core.Config; Src additionally defaults
+// to -1 (highest-degree vertex) rather than vertex 0.
+type jobRequest struct {
+	Dataset string `json:"dataset"`
+	System  string `json:"system"`
+	Kernel  string `json:"kernel"`
+	Scale   string `json:"scale,omitempty"`
+
+	// Memory names a preset (DDR4x4, DDR4x8, DDR4x16, LPDDR4, GDDR5,
+	// HBM, or any of those with an "-enh" suffix); Channels/Ranks > 0
+	// override the preset geometry (Fig. 16 style).
+	Memory   string `json:"memory,omitempty"`
+	Channels int    `json:"channels,omitempty"`
+	Ranks    int    `json:"ranks,omitempty"`
+
+	TileScale   int    `json:"tile_scale,omitempty"`
+	Untiled     bool   `json:"untiled,omitempty"`
+	CacheDesign string `json:"cache_design,omitempty"`
+	MaxIters    int    `json:"max_iters,omitempty"`
+	StreamDepth int    `json:"stream_depth,omitempty"`
+	EdgeCentric bool   `json:"edge_centric,omitempty"`
+	Src         *int64 `json:"src,omitempty"`
+}
+
+// job validates the request and lowers it onto a runner.Job.
+func (q jobRequest) job() (runner.Job, error) {
+	if q.Dataset == "" {
+		return runner.Job{}, fmt.Errorf("missing dataset")
+	}
+	for name, v := range map[string]int{
+		"tile_scale": q.TileScale, "max_iters": q.MaxIters,
+		"stream_depth": q.StreamDepth, "channels": q.Channels, "ranks": q.Ranks,
+	} {
+		if v < 0 {
+			return runner.Job{}, fmt.Errorf("negative %s", name)
+		}
+	}
+	if _, err := graph.ByName(q.Dataset); err != nil {
+		return runner.Job{}, err
+	}
+	sys := accel.Piccolo
+	if q.System != "" {
+		var err error
+		if sys, err = accel.ParseSystem(q.System); err != nil {
+			return runner.Job{}, err
+		}
+	}
+	kernel := q.Kernel
+	if kernel == "" {
+		kernel = "pr"
+	}
+	if _, err := algorithms.New(kernel); err != nil {
+		return runner.Job{}, err
+	}
+	sc, err := graph.ParseScale(q.Scale)
+	if err != nil {
+		return runner.Job{}, err
+	}
+	if q.CacheDesign != "" {
+		if _, err := cache.New(q.CacheDesign, 8<<10, 8); err != nil {
+			return runner.Job{}, err
+		}
+	}
+	mem, err := dram.ByName(q.Memory)
+	if err != nil {
+		return runner.Job{}, err
+	}
+	if (q.Memory == "" || q.Memory == "DDR4x16") && q.Channels == 0 && q.Ranks == 0 {
+		// Canonicalize the spelled-out default to the zero value, so an
+		// explicit "DDR4x16" and an omitted memory field hash to the same
+		// content address and share one cache entry.
+		mem = dram.Config{}
+	} else if q.Channels > 0 || q.Ranks > 0 {
+		ch, ra := mem.Channels, mem.Ranks
+		if q.Channels > 0 {
+			ch = q.Channels
+		}
+		if q.Ranks > 0 {
+			ra = q.Ranks
+		}
+		mem = dram.WithChannels(mem, ch, ra)
+	}
+	src := int64(-1)
+	if q.Src != nil && *q.Src >= 0 {
+		src = *q.Src // any negative means "default source", spelled -1
+	}
+	return runner.Job{Dataset: q.Dataset, Config: core.Config{
+		System:      sys,
+		Mem:         mem,
+		Kernel:      kernel,
+		Scale:       sc,
+		TileScale:   q.TileScale,
+		Untiled:     q.Untiled,
+		CacheDesign: q.CacheDesign,
+		MaxIters:    q.MaxIters,
+		StreamDepth: q.StreamDepth,
+		EdgeCentric: q.EdgeCentric,
+		Src:         src,
+	}}, nil
+}
+
+// jobResponse is the JSON wire form of one result (vertex properties are
+// omitted — they are graph-sized).
+type jobResponse struct {
+	Key        string `json:"key"` // content address of the job
+	Dataset    string `json:"dataset"`
+	System     string `json:"system"`
+	Kernel     string `json:"kernel"`
+	Cycles     uint64 `json:"cycles"`
+	Iterations int    `json:"iterations"`
+	Edges      uint64 `json:"edges"`
+
+	ReadTxns  uint64 `json:"read_txns"`
+	WriteTxns uint64 `json:"write_txns"`
+
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	OffChipGBps  float64 `json:"offchip_gbps"`
+	InternalGBps float64 `json:"internal_gbps"`
+	TileWidth    uint32  `json:"tile_width"`
+
+	EnergyPJ struct {
+		Accelerator float64 `json:"accelerator"`
+		Cache       float64 `json:"cache"`
+		DRAMRead    float64 `json:"dram_read"`
+		DRAMWrite   float64 `json:"dram_write"`
+		DRAMIO      float64 `json:"dram_io"`
+		Other       float64 `json:"other"`
+		Total       float64 `json:"total"`
+	} `json:"energy_pj"`
+}
+
+func response(j runner.Job, r *core.Result) jobResponse {
+	out := jobResponse{
+		Key:          j.Key(),
+		Dataset:      j.Dataset,
+		System:       r.System.String(),
+		Kernel:       j.Config.Kernel,
+		Cycles:       r.Cycles,
+		Iterations:   r.Iterations,
+		Edges:        r.EdgesProcessed,
+		ReadTxns:     r.Mem.ReadTxns,
+		WriteTxns:    r.Mem.WriteTxns,
+		CacheHitRate: r.Cache.HitRate(),
+		OffChipGBps:  r.OffChipGBps,
+		InternalGBps: r.InternalGBps,
+		TileWidth:    r.TileWidth,
+	}
+	out.EnergyPJ.Accelerator = r.Energy.Accelerator
+	out.EnergyPJ.Cache = r.Energy.Cache
+	out.EnergyPJ.DRAMRead = r.Energy.DRAMRead
+	out.EnergyPJ.DRAMWrite = r.Energy.DRAMWrite
+	out.EnergyPJ.DRAMIO = r.Energy.DRAMIO
+	out.EnergyPJ.Other = r.Energy.Other
+	out.EnergyPJ.Total = r.Energy.Total()
+	return out
+}
+
+// server wires the HTTP handlers to one shared runner and one batcher.
+type server struct {
+	runner *runner.Runner
+	batch  *batcher
+}
+
+// canonicalize collapses client-distinct configs that simulate
+// identically onto one cache key: a source vertex at or beyond the
+// graph's vertex count selects the highest-degree default exactly as
+// core.Run does, so it is rewritten to -1 — otherwise a client looping
+// over arbitrary src values would mint unbounded distinct cache entries
+// for the same simulation. The graph lookup is memoized per
+// (dataset, scale) in the runner.
+func (s *server) canonicalize(job runner.Job) (runner.Job, error) {
+	if job.Config.Src >= 0 {
+		g, err := s.runner.Graph(job.Dataset, job.Config.Scale)
+		if err != nil {
+			return job, err
+		}
+		if job.Config.Src >= int64(g.V) {
+			job.Config.Src = -1
+		}
+	}
+	return job, nil
+}
+
+func newServer(workers int, window time.Duration, batchMax int) *server {
+	r := runner.New(workers)
+	return &server{runner: r, batch: newBatcher(r, window, batchMax)}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleRun simulates one job, going through the micro-batcher.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var q jobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&q); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := q.job()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if job, err = s.canonicalize(job); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	res, err := s.batch.run(job)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, response(job, res))
+}
+
+// handleSweep simulates a batch and responds in submission order.
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var q struct {
+		Jobs []jobRequest `json:"jobs"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&q); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(q.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty sweep"))
+		return
+	}
+	jobs := make([]runner.Job, len(q.Jobs))
+	for i, jq := range q.Jobs {
+		job, err := jq.job()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+		if job, err = s.canonicalize(job); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		jobs[i] = job
+	}
+	results, err := s.runner.Sweep(jobs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]jobResponse, len(results))
+	for i, res := range results {
+		out[i] = response(jobs[i], res)
+	}
+	writeJSON(w, struct {
+		Results []jobResponse `json:"results"`
+	}{out})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.runner.Stats()
+	writeJSON(w, map[string]any{
+		"workers":        s.runner.Workers(),
+		"cache_hits":     st.Hits,
+		"cache_misses":   st.Misses,
+		"cache_hit_rate": st.HitRate(),
+		"batches":        s.batch.batches(),
+	})
+}
+
+func main() {
+	addr := flag.String("addr", ":8642", "listen address")
+	workers := flag.Int("workers", 0, "parallel simulation workers; <= 0 selects GOMAXPROCS")
+	window := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window for /run")
+	batchMax := flag.Int("batch-max", 64, "max jobs per micro-batch")
+	flag.Parse()
+
+	s := newServer(*workers, *window, *batchMax)
+	log.Printf("piccolo-serve: listening on %s (%d workers, %v batch window)",
+		*addr, s.runner.Workers(), *window)
+	log.Fatal(http.ListenAndServe(*addr, s.routes()))
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"piccolo/internal/accel"
+	"piccolo/internal/core"
+	"piccolo/internal/graph"
+	"piccolo/internal/runner"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(2, time.Millisecond, 16)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func tinyRequest() jobRequest {
+	return jobRequest{Dataset: "UU", System: "piccolo", Kernel: "bfs", Scale: "tiny", MaxIters: 2}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	resp := post(t, ts.URL+"/run", tinyRequest())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.Cycles == 0 || out.System != "Piccolo" || out.Key == "" {
+		t.Errorf("incomplete response: %+v", out)
+	}
+	if out.EnergyPJ.Total <= 0 {
+		t.Error("no energy estimate")
+	}
+
+	// The identical request again must be a cache hit, not a new simulation.
+	before := s.runner.Stats()
+	resp2 := post(t, ts.URL+"/run", tinyRequest())
+	var out2 jobResponse
+	json.NewDecoder(resp2.Body).Decode(&out2)
+	resp2.Body.Close()
+	if out2.Cycles != out.Cycles {
+		t.Errorf("repeat run diverged: %d != %d", out2.Cycles, out.Cycles)
+	}
+	if after := s.runner.Stats(); after.Misses != before.Misses {
+		t.Errorf("repeat request executed %d new simulations", after.Misses-before.Misses)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	a := tinyRequest()
+	b := tinyRequest()
+	b.System = "nmp"
+	body := map[string]any{"jobs": []jobRequest{a, b, a}} // a duplicated
+	resp := post(t, ts.URL+"/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Results []jobResponse `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d, want 3 (submission order)", len(out.Results))
+	}
+	if out.Results[0].System != "Piccolo" || out.Results[1].System != "NMP" {
+		t.Errorf("order not preserved: %s, %s", out.Results[0].System, out.Results[1].System)
+	}
+	if out.Results[0].Key != out.Results[2].Key || out.Results[0].Cycles != out.Results[2].Cycles {
+		t.Error("duplicate jobs disagree")
+	}
+	if st := s.runner.Stats(); st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (duplicate deduplicated)", st.Misses)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	bad := []struct {
+		path string
+		body any
+	}{
+		{"/run", jobRequest{Dataset: "NOPE", Kernel: "bfs", Scale: "tiny"}},
+		{"/run", jobRequest{Dataset: "UU", System: "warp-drive", Scale: "tiny"}},
+		{"/run", jobRequest{Dataset: "UU", Kernel: "bfs", Scale: "galactic"}},
+		{"/run", jobRequest{Dataset: "UU", Kernel: "dijkstra", Scale: "tiny"}},
+		{"/run", jobRequest{Dataset: "UU", Kernel: "bfs", Scale: "tiny", CacheDesign: "bogus"}},
+		{"/run", jobRequest{Dataset: "UU", Kernel: "bfs", Scale: "tiny", StreamDepth: -2}},
+		{"/run", jobRequest{Dataset: "UU", Kernel: "bfs", Scale: "tiny", TileScale: -1}},
+		{"/run", jobRequest{Dataset: "UU", Kernel: "bfs", Scale: "tiny", Memory: "SRAM"}},
+		{"/run", jobRequest{Kernel: "bfs", Scale: "tiny"}}, // missing dataset
+		{"/sweep", map[string]any{"jobs": []jobRequest{}}},
+	}
+	for _, c := range bad {
+		resp := post(t, ts.URL+c.path, c.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %+v: status %d, want 400", c.path, c.body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, k := range []string{"workers", "cache_hits", "cache_misses", "cache_hit_rate", "batches"} {
+		if _, ok := st[k]; !ok {
+			t.Errorf("stats missing %q: %v", k, st)
+		}
+	}
+}
+
+// TestBatcherCollapsesDuplicates fires identical concurrent single-job
+// requests into a batcher with a wide window: they must form few batches
+// and execute exactly one simulation.
+func TestBatcherCollapsesDuplicates(t *testing.T) {
+	r := runner.New(2)
+	b := newBatcher(r, 20*time.Millisecond, 16)
+	job := runner.Job{Dataset: "UU", Config: core.Config{
+		System: accel.Piccolo, Kernel: "bfs", Scale: graph.ScaleTiny, MaxIters: 2, Src: -1,
+	}}
+	var wg sync.WaitGroup
+	results := make([]*core.Result, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.run(job)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil || res != results[0] {
+			t.Errorf("request %d: not served from the shared execution", i)
+		}
+	}
+	if st := r.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+}
+
+// TestSrcCanonicalized: out-of-range and negative source vertices all
+// select the default source in core.Run, so they must collapse onto one
+// cache entry instead of minting client-controlled distinct keys.
+func TestSrcCanonicalized(t *testing.T) {
+	s, ts := testServer(t)
+	run := func(src string) {
+		resp := post(t, ts.URL+"/run", json.RawMessage(
+			`{"dataset":"UU","kernel":"bfs","scale":"tiny","max_iters":2,"src":`+src+`}`))
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("src=%s: status %d", src, resp.StatusCode)
+		}
+	}
+	run("-1")
+	run("-7")         // any negative = default
+	run("1000000000") // beyond V = default
+	if st := s.runner.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1: equivalent sources not canonicalized", st.Misses)
+	}
+}
+
+func TestJobRequestMemoryOverride(t *testing.T) {
+	q := tinyRequest()
+	q.Memory = "HBM-enh"
+	q.Channels = 2
+	job, err := q.job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Config.Mem.Channels != 2 || !job.Config.Mem.FIMLongBurst {
+		t.Errorf("memory override not applied: %+v", job.Config.Mem)
+	}
+	// Default memory stays the zero value so core.Run picks its default.
+	plain, err := tinyRequest().job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Config.Mem.Name != "" {
+		t.Errorf("default memory not zero: %q", plain.Config.Mem.Name)
+	}
+}

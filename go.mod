@@ -1,0 +1,3 @@
+module piccolo
+
+go 1.24

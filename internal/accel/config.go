@@ -62,6 +62,33 @@ func Systems() []System {
 	return []System{Graphicionado, GraphDynsSPM, GraphDynsCache, NMP, PIM, Piccolo}
 }
 
+// ParseSystem resolves a system by its String() name, case-insensitively,
+// also accepting the punctuation-free aliases "graphdyns-spm" and
+// "graphdyns-cache" (used by cmd/piccolo-serve job requests).
+func ParseSystem(name string) (System, error) {
+	canon := func(s string) string {
+		var b []byte
+		for i := 0; i < len(s); i++ {
+			switch c := s[i]; {
+			case c >= 'A' && c <= 'Z':
+				b = append(b, c+'a'-'A')
+			case c == '(' || c == ')' || c == '-' || c == '_' || c == ' ':
+				// dropped: "GraphDyns(Cache)" == "graphdyns-cache"
+			default:
+				b = append(b, c)
+			}
+		}
+		return string(b)
+	}
+	want := canon(name)
+	for _, s := range Systems() {
+		if canon(s.String()) == want {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("accel: unknown system %q", name)
+}
+
 // UsesSPM reports whether the system keeps Vtemp in a scratchpad.
 func (s System) UsesSPM() bool { return s == Graphicionado || s == GraphDynsSPM }
 

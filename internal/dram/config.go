@@ -242,6 +242,38 @@ func Enhanced(cfg Config) Config {
 	return out
 }
 
+// ByName resolves a memory preset by its Name, including the "-enh"
+// enhanced variants (used by cmd/piccolo-serve job requests); "" selects
+// the DDR4-2400 x16 paper default.
+func ByName(name string) (Config, error) {
+	base := name
+	enhanced := false
+	if n := len(name); n > 4 && name[n-4:] == "-enh" {
+		base, enhanced = name[:n-4], true
+	}
+	var cfg Config
+	switch base {
+	case "", "DDR4x16":
+		cfg = DDR4(16)
+	case "DDR4x8":
+		cfg = DDR4(8)
+	case "DDR4x4":
+		cfg = DDR4(4)
+	case "LPDDR4":
+		cfg = LPDDR4()
+	case "GDDR5":
+		cfg = GDDR5()
+	case "HBM":
+		cfg = HBM()
+	default:
+		return Config{}, fmt.Errorf("dram: unknown memory preset %q", name)
+	}
+	if enhanced {
+		cfg = Enhanced(cfg)
+	}
+	return cfg, nil
+}
+
 // WithChannels returns a copy of cfg with the given channel/rank counts
 // (Fig. 16 sensitivity).
 func WithChannels(cfg Config, channels, ranks int) Config {

@@ -1,18 +1,23 @@
 // Package experiments reproduces every table and figure of the paper's
 // evaluation (§VII, §VIII) on the scaled dataset proxies. Each Fig* /
-// Table* function runs the necessary simulations (memoized within the
-// process) and returns both a printable table and the structured numbers
-// the tests assert shapes on. DESIGN.md §4 maps experiment IDs to these
-// functions and to the bench_test.go targets.
+// Table* function submits the full job matrix it needs to the sweep
+// runner (internal/runner) — which executes the cells in parallel across
+// a worker pool and memoizes them in a content-addressed cache shared by
+// every figure — and then aggregates the cached results in the paper's
+// presentation order, so the emitted tables are byte-identical regardless
+// of worker count. DESIGN.md §4 maps experiment IDs to these functions
+// and to the bench_test.go targets; DESIGN.md §7 describes the runner.
 package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"piccolo/internal/accel"
 	"piccolo/internal/core"
 	"piccolo/internal/dram"
 	"piccolo/internal/graph"
+	"piccolo/internal/runner"
 	"piccolo/internal/stats"
 )
 
@@ -22,6 +27,10 @@ type Options struct {
 	// PRIters caps PageRank iterations (full convergence takes tens of
 	// iterations and only scales every system's cycle count together).
 	PRIters int
+	// Runner executes and memoizes the simulations. nil selects a shared
+	// process-wide runner sized to runtime.GOMAXPROCS(0), so results are
+	// cached across figures within one process.
+	Runner *runner.Runner
 }
 
 func (o Options) prIters() int {
@@ -44,45 +53,67 @@ func (o Options) maxIters(kernel string) int {
 	return 40
 }
 
-// graphCache memoizes proxy construction per (name, scale).
-var graphCache = map[string]*graph.CSR{}
+// shared is the process-wide default runner; every Options value without
+// an explicit Runner funnels into it, sharing one result cache across the
+// whole figure suite.
+var (
+	sharedMu sync.Mutex
+	shared   *runner.Runner
+)
 
-func getGraph(name string, sc graph.Scale) *graph.CSR {
-	key := fmt.Sprintf("%s@%d", name, sc)
-	if g, ok := graphCache[key]; ok {
-		return g
+func sharedRunner() *runner.Runner {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if shared == nil {
+		shared = runner.New(0)
 	}
-	d, err := graph.ByName(name)
+	return shared
+}
+
+func (o Options) runner() *runner.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return sharedRunner()
+}
+
+// RunnerStats reports the shared (or given) runner's cache counters.
+func (o Options) RunnerStats() runner.Stats { return o.runner().Stats() }
+
+// ResetCache clears the shared runner's memoized graphs and results (used
+// by benchmarks that measure construction cost). An Options value with an
+// explicit Runner owns that runner's cache and resets it directly.
+func ResetCache() {
+	sharedRunner().ResetCache()
+}
+
+// graph returns the memoized dataset proxy at the sweep scale.
+func (o Options) graph(name string) *graph.CSR {
+	g, err := o.runner().Graph(name, o.Scale)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	g := d.Build(sc)
-	graphCache[key] = g
 	return g
 }
 
-// runCache memoizes simulation results for identical configurations.
-var runCache = map[string]*core.Result{}
-
-func run(cfg core.Config, dsName string) *core.Result {
-	key := fmt.Sprintf("%s|%v|%s|%s|%d|%d|%v|%d|%s|%d|%v|%v",
-		dsName, cfg.System, cfg.Kernel, cfg.Mem.Name, cfg.Scale, cfg.TileScale,
-		cfg.Untiled, cfg.MaxIters, cfg.CacheDesign, cfg.StreamDepth,
-		cfg.EdgeCentric, cfg.Src)
-	if r, ok := runCache[key]; ok {
-		return r
+// run simulates one configuration through the runner's cache. Configs
+// must come from baseCfg (or a fig*Cfg builder on top of it) unchanged
+// between the prewarm enumeration and this call, so both paths submit
+// identical cache keys.
+func (o Options) run(cfg core.Config, dsName string) *core.Result {
+	r, err := o.runner().Run(runner.Job{Dataset: dsName, Config: cfg})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	cfg.Src = -1
-	r := core.MustRun(cfg, getGraph(dsName, cfg.Scale))
-	runCache[key] = r
 	return r
 }
 
-// ResetCache clears memoized graphs and runs (used by benchmarks that
-// measure construction cost).
-func ResetCache() {
-	graphCache = map[string]*graph.CSR{}
-	runCache = map[string]*core.Result{}
+// prewarm executes every job in parallel across the runner's workers; the
+// aggregation loops that follow are then served entirely from the cache.
+func (o Options) prewarm(jobs []runner.Job) {
+	if _, err := o.runner().Sweep(jobs); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 }
 
 func (o Options) baseCfg(sys accel.System, kernel string) core.Config {
@@ -111,16 +142,10 @@ func tileCandidates(sys accel.System) []int {
 	}
 }
 
-// bestRun simulates the system with each candidate tile width and returns
-// the fastest result (memoized per candidate).
-func bestRun(o Options, sys accel.System, kernel, ds string) *core.Result {
-	return bestRunMem(o, sys, kernel, ds, dram.Config{})
-}
-
-// bestRunMem is bestRun with an explicit memory configuration (zero value:
-// the DDR4-2400 x16 default).
-func bestRunMem(o Options, sys accel.System, kernel, ds string, mem dram.Config) *core.Result {
-	var best *core.Result
+// bestJobs enumerates one bestRun's tile-candidate jobs, keyed exactly as
+// run() submits them.
+func (o Options) bestJobs(sys accel.System, kernel, ds string, mem dram.Config) []runner.Job {
+	var jobs []runner.Job
 	for _, scale := range tileCandidates(sys) {
 		cfg := o.baseCfg(sys, kernel)
 		cfg.Mem = mem
@@ -128,7 +153,26 @@ func bestRunMem(o Options, sys accel.System, kernel, ds string, mem dram.Config)
 		if scale == 0 {
 			cfg.Untiled = true
 		}
-		r := run(cfg, ds)
+		jobs = append(jobs, runner.Job{Dataset: ds, Config: cfg})
+	}
+	return jobs
+}
+
+// bestRun simulates the system with each candidate tile width (in parallel
+// on a cold cache) and returns the fastest result.
+func bestRun(o Options, sys accel.System, kernel, ds string) *core.Result {
+	return bestRunMem(o, sys, kernel, ds, dram.Config{})
+}
+
+// bestRunMem is bestRun with an explicit memory configuration (zero value:
+// the DDR4-2400 x16 default).
+func bestRunMem(o Options, sys accel.System, kernel, ds string, mem dram.Config) *core.Result {
+	results, err := o.runner().Sweep(o.bestJobs(sys, kernel, ds, mem))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	var best *core.Result
+	for _, r := range results {
 		if best == nil || r.Cycles < best.Cycles {
 			best = r
 		}
@@ -144,7 +188,7 @@ func Table2(o Options) *stats.Table {
 	t := stats.NewTable("Table II: graph dataset proxies",
 		"graph", "paper V(M)", "paper E(M)", "proxy V", "proxy E", "avg deg", "brief")
 	for _, d := range append(graph.RealWorld(), graph.Synthetic()...) {
-		g := getGraph(d.Name, o.Scale)
+		g := o.graph(d.Name)
 		t.AddRow(d.Name, stats.F(d.PaperV), stats.F(d.PaperE),
 			stats.I(uint64(g.V)), stats.I(g.E()), stats.F2(g.AvgDegree()), d.Brief)
 	}
@@ -166,22 +210,35 @@ type Fig3Row struct {
 	HitRate        float64
 }
 
+// fig3Cfg is the configuration of one Fig. 3 bar group.
+func (o Options) fig3Cfg(tiled bool) core.Config {
+	cfg := o.baseCfg(accel.GraphDynsCache, "bfs")
+	if tiled {
+		cfg.TileScale = 1 // perfect tiling
+	} else {
+		cfg.Untiled = true
+	}
+	return cfg
+}
+
 // Fig3 runs BFS on the TW/SW/FS proxies under the conventional baseline
 // with no tiling and with perfect tiling, reporting the useful/unuseful
 // byte split and RD/WR transaction counts.
 func Fig3(o Options) (*stats.Table, []Fig3Row) {
+	var jobs []runner.Job
+	for _, tiled := range []bool{false, true} {
+		for _, ds := range []string{"TW", "SW", "FS"} {
+			jobs = append(jobs, runner.Job{Dataset: ds, Config: o.fig3Cfg(tiled)})
+		}
+	}
+	o.prewarm(jobs)
+
 	t := stats.NewTable("Fig. 3: useful vs unuseful memory access (BFS, conventional baseline)",
 		"dataset", "tiling", "useful", "unuseful", "RD txns", "WR txns", "hit rate")
 	var rows []Fig3Row
 	for _, tiled := range []bool{false, true} {
 		for _, ds := range []string{"TW", "SW", "FS"} {
-			cfg := o.baseCfg(accel.GraphDynsCache, "bfs")
-			if tiled {
-				cfg.TileScale = 1 // perfect tiling
-			} else {
-				cfg.Untiled = true
-			}
-			r := run(cfg, ds)
+			r := o.run(o.fig3Cfg(tiled), ds)
 			useful := r.Cache.UsefulFraction()
 			row := Fig3Row{
 				Dataset: ds, Tiled: tiled, UsefulFraction: useful,
@@ -215,6 +272,8 @@ type Fig10Data struct {
 
 // Fig10 runs the full 6-system × 5-kernel × 5-dataset matrix.
 func Fig10(o Options) (*stats.Table, *Fig10Data) {
+	o.prewarm(o.matrixJobs(kernelOrder, realOrder, accel.Systems(), dram.Config{}))
+
 	data := &Fig10Data{
 		Speedup: map[accel.System]map[string]map[string]float64{},
 		Geomean: map[accel.System]float64{},
@@ -284,10 +343,30 @@ type Fig11Data struct {
 	Geomean map[string]float64 // by cache design name
 }
 
+// fig11Cfg is the configuration of one Fig. 11 cell: Piccolo's memory
+// path under the given cache design. One builder shared by the prewarm
+// enumeration and the aggregation loop, so their cache keys cannot drift.
+func (o Options) fig11Cfg(kernel, design string) core.Config {
+	cfg := o.baseCfg(accel.Piccolo, kernel)
+	cfg.CacheDesign = design
+	return cfg
+}
+
 // Fig11 sweeps the cache zoo with the Piccolo memory path, normalized to
 // the conventional-cache baseline system.
 func Fig11(o Options) (*stats.Table, *Fig11Data) {
 	designs := []string{"sectored", "amoeba", "scrabble", "graphfire", "piccolo", "piccolo-rrip", "8b-line"}
+	var jobs []runner.Job
+	for _, kernel := range kernelOrder {
+		for _, ds := range realOrder {
+			jobs = append(jobs, o.bestJobs(accel.GraphDynsCache, kernel, ds, dram.Config{})...)
+			for _, design := range designs {
+				jobs = append(jobs, runner.Job{Dataset: ds, Config: o.fig11Cfg(kernel, design)})
+			}
+		}
+	}
+	o.prewarm(jobs)
+
 	t := stats.NewTable("Fig. 11: cache designs on Piccolo-FIM (speedup over conventional 64B cache)",
 		append([]string{"algo", "dataset"}, designs...)...)
 	data := &Fig11Data{Geomean: map[string]float64{}}
@@ -297,9 +376,7 @@ func Fig11(o Options) (*stats.Table, *Fig11Data) {
 			base := bestRun(o, accel.GraphDynsCache, kernel, ds)
 			cells := []string{kernelName(kernel), ds}
 			for _, design := range designs {
-				cfg := o.baseCfg(accel.Piccolo, kernel)
-				cfg.CacheDesign = design
-				r := run(cfg, ds)
+				r := o.run(o.fig11Cfg(kernel, design), ds)
 				sp := stats.Ratio(float64(base.Cycles), float64(r.Cycles))
 				acc[design] = append(acc[design], sp)
 				cells = append(cells, stats.F2(sp))

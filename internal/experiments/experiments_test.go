@@ -6,6 +6,7 @@ import (
 
 	"piccolo/internal/accel"
 	"piccolo/internal/graph"
+	"piccolo/internal/runner"
 )
 
 // tinyOpts keeps the test sweeps fast. Scaled-down distortions are real
@@ -366,18 +367,55 @@ func TestFig20bPrefetch(t *testing.T) {
 
 func TestRunCacheMemoizes(t *testing.T) {
 	o := tinyOpts()
+	o.Runner = runner.New(2)
 	cfg := o.baseCfg(accel.Piccolo, "bfs")
-	a := run(cfg, "UU")
-	b := run(cfg, "UU")
+	a := o.run(cfg, "UU")
+	b := o.run(cfg, "UU")
 	if a != b {
 		t.Error("identical configs not memoized")
 	}
-	ResetCache()
-	c := run(cfg, "UU")
+	if s := o.RunnerStats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("counters = %+v, want 1 hit / 1 miss", s)
+	}
+	o.Runner.ResetCache()
+	c := o.run(cfg, "UU")
 	if a == c {
 		t.Error("ResetCache did not clear the memo")
 	}
 	if a.Cycles != c.Cycles {
 		t.Error("simulation not deterministic across cache resets")
+	}
+}
+
+// TestFig10ParallelMatchesSequential is the headline determinism check: a
+// 4-worker Fig. 10 sweep must emit a table byte-identical to the 1-worker
+// run, and a repeat on a warm runner must again be byte-identical and be
+// served ≥ 90% from the result cache. (Per-worker-count result equality
+// is covered again, more cheaply, in internal/runner's tests.)
+func TestFig10ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix sweep, three times")
+	}
+	seq := tinyOpts()
+	seq.Runner = runner.New(1)
+	seqTbl, _ := Fig10(seq)
+
+	par := tinyOpts()
+	par.Runner = runner.New(4)
+	parTbl, _ := Fig10(par)
+	if parTbl.String() != seqTbl.String() {
+		t.Errorf("4-worker table differs from sequential:\n%s\n---\n%s", parTbl, seqTbl)
+	}
+
+	before := par.RunnerStats()
+	againTbl, _ := Fig10(par)
+	if againTbl.String() != parTbl.String() {
+		t.Error("repeated sweep not byte-identical")
+	}
+	after := par.RunnerStats()
+	delta := runner.Stats{Hits: after.Hits - before.Hits, Misses: after.Misses - before.Misses}
+	if rate := delta.HitRate(); rate < 0.9 {
+		t.Errorf("repeat hit rate %.2f (%d hits / %d misses), want >= 0.90",
+			rate, delta.Hits, delta.Misses)
 	}
 }

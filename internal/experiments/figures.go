@@ -10,8 +10,24 @@ import (
 	"piccolo/internal/fim"
 	"piccolo/internal/graph"
 	"piccolo/internal/olap"
+	"piccolo/internal/runner"
 	"piccolo/internal/stats"
 )
+
+// matrixJobs enumerates the bestRun tile candidates of every
+// (kernel, dataset, system) cell — the prewarm set of the Fig. 10-14
+// family of figures.
+func (o Options) matrixJobs(kernels, datasets []string, systems []accel.System, mem dram.Config) []runner.Job {
+	var jobs []runner.Job
+	for _, kernel := range kernels {
+		for _, ds := range datasets {
+			for _, sys := range systems {
+				jobs = append(jobs, o.bestJobs(sys, kernel, ds, mem)...)
+			}
+		}
+	}
+	return jobs
+}
 
 // ---------------------------------------------------------------------------
 // Fig. 9: FPGA-emulation microbenchmark.
@@ -52,6 +68,8 @@ type Fig12Data struct {
 // Fig12 compares read/write transaction counts, normalized to the
 // baseline's total per workload.
 func Fig12(o Options) (*stats.Table, *Fig12Data) {
+	o.prewarm(o.matrixJobs(kernelOrder, realOrder,
+		[]accel.System{accel.GraphDynsCache, accel.Piccolo}, dram.Config{}))
 	t := stats.NewTable("Fig. 12: normalized off-chip memory accesses (GraphDyns(Cache) vs Piccolo)",
 		"algo", "dataset", "base RD", "base WR", "picc RD", "picc WR", "reduction")
 	var ratios []float64
@@ -87,6 +105,7 @@ type Fig13Row struct {
 // PIM and Piccolo.
 func Fig13(o Options) (*stats.Table, []Fig13Row) {
 	systems := []accel.System{accel.GraphDynsCache, accel.PIM, accel.Piccolo}
+	o.prewarm(o.matrixJobs(kernelOrder, realOrder, systems, dram.Config{}))
 	t := stats.NewTable("Fig. 13: bandwidth usage (GB/s)",
 		"algo", "dataset", "system", "off-chip", "internal")
 	var rows []Fig13Row
@@ -115,6 +134,8 @@ type Fig14Data struct {
 // Fig14 reports the energy breakdown of baseline and Piccolo, normalized
 // per workload to the baseline total.
 func Fig14(o Options) (*stats.Table, *Fig14Data) {
+	o.prewarm(o.matrixJobs(kernelOrder, realOrder,
+		[]accel.System{accel.GraphDynsCache, accel.Piccolo}, dram.Config{}))
 	t := stats.NewTable("Fig. 14: normalized energy breakdown (baseline → Piccolo)",
 		"algo", "dataset", "system", "acc", "cache", "dram rd", "dram wr", "dram io", "others", "total")
 	var ratios []float64
@@ -222,6 +243,14 @@ func sensitivity(o Options, title string, mems []dram.Config, kernels []string) 
 	if kernels == nil {
 		kernels = kernelOrder
 	}
+	var jobs []runner.Job
+	for _, kernel := range kernels {
+		for _, mc := range mems {
+			jobs = append(jobs, o.bestJobs(accel.GraphDynsCache, kernel, "SW", mc)...)
+			jobs = append(jobs, o.bestJobs(accel.Piccolo, kernel, "SW", mc)...)
+		}
+	}
+	o.prewarm(jobs)
 	t := stats.NewTable(title, "memory", "algo", "GraphDyns(Cache)", "Piccolo", "speedup")
 	var rows []SensRow
 	for _, kernel := range kernels {
@@ -251,6 +280,14 @@ type Fig17Row struct {
 	Cycles      uint64
 }
 
+// fig17Cfg is one Fig. 17 cell: the system at tile-scale factor f. One
+// builder shared by prewarm and aggregation so their cache keys match.
+func (o Options) fig17Cfg(sys accel.System, kernel string, f int) core.Config {
+	cfg := o.baseCfg(sys, kernel)
+	cfg.TileScale = f
+	return cfg
+}
+
 // Fig17 sweeps the tile scaling factor ×1..×16 on the SW proxy.
 func Fig17(o Options) (*stats.Table, []Fig17Row) {
 	t := stats.NewTable("Fig. 17: tile-scaling sensitivity (SW, cycles normalized to ×1)",
@@ -259,14 +296,21 @@ func Fig17(o Options) (*stats.Table, []Fig17Row) {
 	// The paper sweeps ×1..×16 at 4MB scale; our capacity scaling maps the
 	// same tile-rows : collection-entries ratios onto ×1..×32.
 	factors := []int{1, 2, 4, 8, 16, 32}
+	var jobs []runner.Job
+	for _, kernel := range kernelOrder {
+		for _, sys := range []accel.System{accel.GraphDynsCache, accel.Piccolo} {
+			for _, f := range factors {
+				jobs = append(jobs, runner.Job{Dataset: "SW", Config: o.fig17Cfg(sys, kernel, f)})
+			}
+		}
+	}
+	o.prewarm(jobs)
 	for _, kernel := range kernelOrder {
 		for _, sys := range []accel.System{accel.GraphDynsCache, accel.Piccolo} {
 			var base uint64
 			cells := []string{kernelName(kernel), sys.String()}
 			for _, f := range factors {
-				cfg := o.baseCfg(sys, kernel)
-				cfg.TileScale = f
-				r := run(cfg, "SW")
+				r := o.run(o.fig17Cfg(sys, kernel, f), "SW")
 				rows = append(rows, Fig17Row{ScaleFactor: f, Kernel: kernelName(kernel), System: sys, Cycles: r.Cycles})
 				if f == 1 {
 					base = r.Cycles
@@ -295,6 +339,7 @@ func Fig18(o Options) (*stats.Table, map[accel.System][]float64) {
 		return out
 	}()...)
 	t := stats.NewTable("Fig. 18: synthetic graphs, PR speedup over GraphDyns (Cache)", header...)
+	o.prewarm(o.matrixJobs([]string{"pr"}, names, systems, dram.Config{}))
 	data := map[accel.System][]float64{}
 	for _, ds := range names {
 		base := bestRun(o, accel.GraphDynsCache, "pr", ds)
@@ -317,27 +362,36 @@ func Fig18(o Options) (*stats.Table, map[accel.System][]float64) {
 // conventional and Piccolo memory systems (PR, normalized to VC
 // conventional).
 func Fig19a(o Options) (*stats.Table, map[string][]float64) {
+	type variant struct {
+		name string
+		sys  accel.System
+		ec   bool
+	}
+	variants := []variant{
+		{"VC conven.", accel.GraphDynsCache, false},
+		{"VC Piccolo", accel.Piccolo, false},
+		{"EC conven.", accel.GraphDynsCache, true},
+		{"EC Piccolo", accel.Piccolo, true},
+	}
+	var jobs []runner.Job
+	for _, ds := range realOrder {
+		for _, v := range variants {
+			cfg := o.baseCfg(v.sys, "pr")
+			cfg.EdgeCentric = v.ec
+			jobs = append(jobs, runner.Job{Dataset: ds, Config: cfg})
+		}
+	}
+	o.prewarm(jobs)
 	t := stats.NewTable("Fig. 19a: edge-centric processing, PR speedup over VC conventional",
 		"dataset", "VC conven.", "VC Piccolo", "EC conven.", "EC Piccolo")
 	data := map[string][]float64{}
 	for _, ds := range realOrder {
-		type variant struct {
-			name string
-			sys  accel.System
-			ec   bool
-		}
-		variants := []variant{
-			{"VC conven.", accel.GraphDynsCache, false},
-			{"VC Piccolo", accel.Piccolo, false},
-			{"EC conven.", accel.GraphDynsCache, true},
-			{"EC Piccolo", accel.Piccolo, true},
-		}
 		var base uint64
 		cells := []string{ds}
 		for _, v := range variants {
 			cfg := o.baseCfg(v.sys, "pr")
 			cfg.EdgeCentric = v.ec
-			r := run(cfg, ds)
+			r := o.run(cfg, ds)
 			if v.name == "VC conven." {
 				base = r.Cycles
 			}
@@ -382,16 +436,30 @@ func Fig19b(o Options) (*stats.Table, map[string]float64) {
 // ---------------------------------------------------------------------------
 // Fig. 20b: prefetching disabled.
 
+// fig20bCfg is one Fig. 20b cell: Piccolo PR with or without the
+// prefetcher (StreamDepth 1 disables it).
+func (o Options) fig20bCfg(prefetch bool) core.Config {
+	cfg := o.baseCfg(accel.Piccolo, "pr")
+	if !prefetch {
+		cfg.StreamDepth = 1
+	}
+	return cfg
+}
+
 // Fig20b compares Piccolo with and without prefetching (PR).
 func Fig20b(o Options) (*stats.Table, []float64) {
+	var jobs []runner.Job
+	for _, ds := range realOrder {
+		jobs = append(jobs, runner.Job{Dataset: ds, Config: o.fig20bCfg(true)},
+			runner.Job{Dataset: ds, Config: o.fig20bCfg(false)})
+	}
+	o.prewarm(jobs)
 	t := stats.NewTable("Fig. 20b: effect of disabling prefetching (PR, normalized performance)",
 		"dataset", "piccolo", "piccolo w/o prefetch")
 	var norm []float64
 	for _, ds := range realOrder {
-		base := run(o.baseCfg(accel.Piccolo, "pr"), ds)
-		cfg := o.baseCfg(accel.Piccolo, "pr")
-		cfg.StreamDepth = 1
-		nop := run(cfg, ds)
+		base := o.run(o.fig20bCfg(true), ds)
+		nop := o.run(o.fig20bCfg(false), ds)
 		perf := stats.Ratio(float64(base.Cycles), float64(nop.Cycles))
 		norm = append(norm, perf)
 		t.AddRow(ds, "1.00", stats.F2(perf))

@@ -19,6 +19,33 @@ const (
 	ScaleMedium
 )
 
+// String names the scale as accepted by ParseScale and the command-line
+// -scale flags.
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleMedium:
+		return "medium"
+	default:
+		return "small"
+	}
+}
+
+// ParseScale resolves a scale name; "" selects ScaleSmall, the default
+// experiment scale.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small", "":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	}
+	return 0, fmt.Errorf("graph: unknown scale %q (want tiny, small or medium)", name)
+}
+
 // shift returns the power-of-two downscaling of the proxy relative to
 // ScaleSmall.
 func (s Scale) shift() int {

@@ -1,0 +1,153 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"piccolo/internal/core"
+	"piccolo/internal/graph"
+)
+
+// jobKey computes the content address of a job: a SHA-256 over a canonical
+// JSON encoding of the dataset identity and the full core.Config. JSON
+// emits struct fields in declaration order, so the encoding is
+// deterministic, and it covers every exported Config field — a new sweep
+// knob added to core.Config changes the hash automatically instead of
+// silently aliasing distinct configurations (the failure mode of the old
+// hand-enumerated format string this replaces).
+func jobKey(j Job) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	if err := enc.Encode(struct {
+		Dataset string
+		Config  core.Config
+	}{j.Dataset, j.Config}); err != nil {
+		// Config is a plain value struct; encoding cannot fail.
+		panic(fmt.Sprintf("runner: encoding job key: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// call tracks one in-flight execution so concurrent duplicates can wait on
+// it instead of re-simulating.
+type call struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// resultCache is the locked content-addressed store plus single-flight
+// in-flight tracking and the hit/miss counters.
+type resultCache struct {
+	mu       sync.Mutex
+	results  map[string]*core.Result
+	inflight map[string]*call
+	hits     uint64
+	misses   uint64
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{
+		results:  map[string]*core.Result{},
+		inflight: map[string]*call{},
+	}
+}
+
+// lookup resolves a key to either a cached result (res, nil, false), an
+// in-flight call to wait on (nil, c, false), or leadership of a fresh
+// execution (nil, c, true). Both cached results and waits count as hits —
+// neither costs a simulation; only leadership counts as a miss.
+func (c *resultCache) lookup(key string) (*core.Result, *call, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if res, ok := c.results[key]; ok {
+		c.hits++
+		return res, nil, false
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.hits++
+		return nil, f, false
+	}
+	c.misses++
+	f := &call{done: make(chan struct{})}
+	c.inflight[key] = f
+	return nil, f, true
+}
+
+// complete publishes a leader's outcome: waiters wake with (res, err), and
+// a successful result is stored for future lookups. If the cache was reset
+// while the job ran, the stale entry is not re-inserted.
+func (c *resultCache) complete(key string, f *call, res *core.Result, err error) {
+	f.res, f.err = res, err
+	close(f.done)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inflight[key] != f {
+		return // reset raced the execution; discard
+	}
+	delete(c.inflight, key)
+	if err == nil {
+		c.results[key] = res
+	}
+}
+
+func (c *resultCache) stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses}
+}
+
+func (c *resultCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.results = map[string]*core.Result{}
+	c.inflight = map[string]*call{}
+	c.hits, c.misses = 0, 0
+}
+
+// graphCache memoizes dataset-proxy construction per (name, scale) with
+// per-entry once semantics, so concurrent jobs on the same dataset build
+// it exactly once and then share it read-only.
+type graphCache struct {
+	mu sync.Mutex
+	m  map[string]*graphEntry
+}
+
+type graphEntry struct {
+	once sync.Once
+	g    *graph.CSR
+	err  error
+}
+
+func newGraphCache() *graphCache {
+	return &graphCache{m: map[string]*graphEntry{}}
+}
+
+func (c *graphCache) get(name string, sc graph.Scale) (*graph.CSR, error) {
+	key := fmt.Sprintf("%s@%d", name, sc)
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &graphEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		d, err := graph.ByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.g = d.Build(sc)
+	})
+	return e.g, e.err
+}
+
+func (c *graphCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[string]*graphEntry{}
+}

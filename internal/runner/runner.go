@@ -1,0 +1,167 @@
+// Package runner is the sweep-orchestration subsystem: it executes
+// declarative simulation jobs across a bounded worker pool, deduplicating
+// identical jobs through a thread-safe content-addressed result cache
+// (DESIGN.md §7). The paper's evaluation is a large cross product —
+// systems × kernels × datasets × tile-size candidates — whose cells are
+// independent, deterministic simulations; the runner turns that cross
+// product into a parallel, cache-shared batch while preserving the exact
+// results and ordering of a sequential run.
+//
+// A Job is a dataset name plus a full core.Config. Two jobs with the same
+// canonical content hash (see Job.Key) are the same simulation: only the
+// first submission executes, concurrent duplicates wait on the in-flight
+// call, and later submissions are served from the cache. Sweep returns
+// results in submission order regardless of completion order, so
+// aggregation code downstream is oblivious to the parallelism.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"piccolo/internal/core"
+	"piccolo/internal/graph"
+)
+
+// Job is one declarative unit of work: simulate Config on the named
+// dataset proxy. The zero Config fields mean "paper default" exactly as in
+// core.Run.
+type Job struct {
+	// Dataset names a Table II proxy (UU, TW, SW, FS, PP, WS26, ...); the
+	// graph is built lazily at Config.Scale and shared read-only across
+	// jobs.
+	Dataset string
+	Config  core.Config
+}
+
+// Key returns the job's canonical content hash: a SHA-256 over the
+// dataset identity and every sweep-relevant Config field (cache.go). Equal
+// keys ⇒ identical simulations.
+func (j Job) Key() string { return jobKey(j) }
+
+// Stats reports the cache effectiveness counters. Hits counts submissions
+// served without executing a simulation (cached results and waits on an
+// identical in-flight job); Misses counts simulations actually executed.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 for an untouched runner.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Runner executes jobs on a bounded worker pool over a shared result
+// cache. It is safe for concurrent use; a single Runner is meant to be
+// shared across an entire process (figure suite, HTTP server) so that
+// every consumer benefits from every other's results.
+type Runner struct {
+	workers int
+	sem     chan struct{} // bounds concurrently executing simulations
+	results *resultCache
+	graphs  *graphCache
+}
+
+// New returns a runner executing at most workers simulations at once.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		results: newResultCache(),
+		graphs:  newGraphCache(),
+	}
+}
+
+// Workers returns the worker-pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns a snapshot of the cache counters.
+func (r *Runner) Stats() Stats { return r.results.stats() }
+
+// ResetCache drops every memoized graph and result and zeroes the
+// counters. In-flight jobs complete but their results are discarded.
+func (r *Runner) ResetCache() {
+	r.results.reset()
+	r.graphs.reset()
+}
+
+// Run executes one job through the cache: a memoized result returns
+// immediately, a duplicate of an in-flight job waits for it, and a fresh
+// job occupies a worker slot. Run may be called from any number of
+// goroutines; the pool bounds only the simulations themselves.
+func (r *Runner) Run(job Job) (*core.Result, error) {
+	res, c, leader := r.results.lookup(job.Key())
+	if c == nil {
+		return res, nil // cache hit
+	}
+	if !leader {
+		<-c.done // identical job already in flight
+		return c.res, c.err
+	}
+	r.sem <- struct{}{}
+	res, err := r.exec(job)
+	<-r.sem
+	r.results.complete(job.Key(), c, res, err)
+	return res, err
+}
+
+// exec builds (or fetches) the graph and runs the simulation. A panic in
+// the simulator (or graph builder) is converted into this job's error:
+// letting it escape would kill the whole process off a worker goroutine,
+// and — because complete would never run — leave every duplicate
+// submission of the key blocked on the in-flight call forever.
+func (r *Runner) exec(job Job) (res *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("runner: %s %s on %s panicked: %v",
+				job.Config.System, job.Config.Kernel, job.Dataset, p)
+		}
+	}()
+	g, err := r.graphs.get(job.Dataset, job.Config.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(job.Config, g)
+}
+
+// Sweep executes every job, at most Workers() at a time, and returns
+// results in submission order. Duplicate jobs within the batch (and
+// against the cache) are executed once. The first error aborts nothing —
+// every job still completes — but Sweep reports it; results[i] is nil
+// exactly when jobs[i] failed.
+func (r *Runner) Sweep(jobs []Job) ([]*core.Result, error) {
+	results := make([]*core.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("runner: job %d (%s %s on %s): %w",
+				i, jobs[i].Config.System, jobs[i].Config.Kernel, jobs[i].Dataset, err)
+		}
+	}
+	return results, nil
+}
+
+// Graph returns the memoized dataset proxy for (name, scale), building it
+// on first use. Graphs are immutable after construction and shared
+// read-only across concurrent simulations.
+func (r *Runner) Graph(name string, sc graph.Scale) (*graph.CSR, error) {
+	return r.graphs.get(name, sc)
+}

@@ -1,0 +1,258 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"piccolo/internal/accel"
+	"piccolo/internal/core"
+	"piccolo/internal/graph"
+)
+
+// tinyJobs is a small cross product (2 systems × 2 kernels × 2 datasets)
+// with one intra-batch duplicate appended, all at ScaleTiny.
+func tinyJobs() []Job {
+	var jobs []Job
+	for _, sys := range []accel.System{accel.GraphDynsCache, accel.Piccolo} {
+		for _, kernel := range []string{"bfs", "pr"} {
+			for _, ds := range []string{"UU", "SW"} {
+				jobs = append(jobs, Job{Dataset: ds, Config: core.Config{
+					System: sys, Kernel: kernel, Scale: graph.ScaleTiny,
+					MaxIters: 2, Src: -1,
+				}})
+			}
+		}
+	}
+	return append(jobs, jobs[0]) // duplicate: must dedup, not re-simulate
+}
+
+// fingerprint reduces a result to the fields the experiment tables are
+// built from.
+type fingerprint struct {
+	Cycles  uint64
+	Txns    uint64
+	Energy  float64
+	OffChip float64
+}
+
+func fp(r *core.Result) fingerprint {
+	return fingerprint{Cycles: r.Cycles, Txns: r.Mem.TotalTxns(),
+		Energy: r.Energy.Total(), OffChip: r.OffChipGBps}
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	jobs := tinyJobs()
+	seq, err := New(1).Sweep(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, err := New(workers).Sweep(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if fp(par[i]) != fp(seq[i]) {
+				t.Errorf("workers=%d job %d: %+v != sequential %+v", workers, i, fp(par[i]), fp(seq[i]))
+			}
+		}
+	}
+}
+
+func TestSweepRepeatIdentical(t *testing.T) {
+	r := New(4)
+	jobs := tinyJobs()
+	a, err := r.Sweep(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Sweep(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] { // pointer identity: served from the cache
+			t.Errorf("job %d: repeat sweep not served from cache", i)
+		}
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	r := New(2)
+	jobs := tinyJobs()
+	unique := map[string]bool{}
+	for _, j := range jobs {
+		unique[j.Key()] = true
+	}
+	if _, err := r.Sweep(jobs); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Misses != uint64(len(unique)) {
+		t.Errorf("misses = %d, want %d (one per unique job)", s.Misses, len(unique))
+	}
+	if s.Hits+s.Misses != uint64(len(jobs)) {
+		t.Errorf("hits+misses = %d, want %d", s.Hits+s.Misses, len(jobs))
+	}
+	if _, err := r.Sweep(jobs); err != nil {
+		t.Fatal(err)
+	}
+	s2 := r.Stats()
+	if s2.Misses != s.Misses {
+		t.Errorf("repeat sweep executed %d new simulations", s2.Misses-s.Misses)
+	}
+	if s2.Hits != s.Hits+uint64(len(jobs)) {
+		t.Errorf("repeat hits = %d, want %d", s2.Hits, s.Hits+uint64(len(jobs)))
+	}
+	if got := s2.HitRate(); got < 0.5 {
+		t.Errorf("hit rate %.2f after repeat, want > 0.5", got)
+	}
+}
+
+// TestConcurrentSubmissions hammers one runner from many goroutines with
+// overlapping jobs; run under -race this is the data-race test for the
+// cache, the single-flight path and the graph memo.
+func TestConcurrentSubmissions(t *testing.T) {
+	r := New(4)
+	jobs := tinyJobs()
+	want, err := New(1).Sweep(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range jobs {
+				j := jobs[(i+g)%len(jobs)] // staggered order per goroutine
+				res, err := r.Run(j)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if fp(res) != fp(want[(i+g)%len(jobs)]) {
+					t.Errorf("goroutine %d: job %d diverged", g, (i+g)%len(jobs))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	unique := map[string]bool{}
+	for _, j := range jobs {
+		unique[j.Key()] = true
+	}
+	if s := r.Stats(); s.Misses != uint64(len(unique)) {
+		t.Errorf("misses = %d, want %d: concurrent duplicates re-simulated", s.Misses, len(unique))
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	base := Job{Dataset: "SW", Config: core.Config{System: accel.Piccolo, Kernel: "bfs", Src: -1}}
+	if base.Key() != base.Key() {
+		t.Error("key not deterministic")
+	}
+	vary := []Job{
+		{Dataset: "UU", Config: base.Config},
+		{Dataset: "SW", Config: core.Config{System: accel.NMP, Kernel: "bfs", Src: -1}},
+		{Dataset: "SW", Config: core.Config{System: accel.Piccolo, Kernel: "pr", Src: -1}},
+		{Dataset: "SW", Config: core.Config{System: accel.Piccolo, Kernel: "bfs", Src: -1, TileScale: 4}},
+		{Dataset: "SW", Config: core.Config{System: accel.Piccolo, Kernel: "bfs", Src: -1, Untiled: true}},
+		{Dataset: "SW", Config: core.Config{System: accel.Piccolo, Kernel: "bfs", Src: -1, CacheDesign: "sectored"}},
+	}
+	seen := map[string]int{base.Key(): -1}
+	for i, j := range vary {
+		if prev, ok := seen[j.Key()]; ok {
+			t.Errorf("job %d collides with %d", i, prev)
+		}
+		seen[j.Key()] = i
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	r := New(1)
+	if _, err := r.Run(Job{Dataset: "SW", Config: core.Config{Kernel: "nope", Src: -1}}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := r.Run(Job{Dataset: "NOPE", Config: core.Config{Kernel: "bfs", Src: -1}}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := r.Sweep([]Job{{Dataset: "NOPE", Config: core.Config{Kernel: "bfs", Src: -1}}}); err == nil {
+		t.Error("sweep swallowed the error")
+	}
+}
+
+// TestPanicBecomesError: a simulator panic on a worker goroutine must
+// surface as that job's error — not crash the process, and not leave
+// duplicate submissions blocked on a call that never completes.
+func TestPanicBecomesError(t *testing.T) {
+	r := New(2)
+	bad := Job{Dataset: "UU", Config: core.Config{
+		System: accel.Piccolo, Kernel: "pr", Scale: graph.ScaleTiny,
+		MaxIters: 2, StreamDepth: -2, Src: -1, // engine panics on this
+	}}
+	if _, err := r.Run(bad); err == nil {
+		t.Fatal("panicking job returned no error")
+	}
+	done := make(chan error, 1)
+	go func() { _, err := r.Run(bad); done <- err }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("second submission returned no error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("second submission hung on the failed in-flight call")
+	}
+	// The pool must still have its slots: a healthy sweep still runs.
+	if _, err := r.Sweep(tinyJobs()); err != nil {
+		t.Errorf("runner unusable after panic: %v", err)
+	}
+}
+
+func TestResetCache(t *testing.T) {
+	r := New(2)
+	job := tinyJobs()[0]
+	a, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ResetCache()
+	if s := r.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("counters not zeroed: %+v", s)
+	}
+	b, err := r.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("reset did not drop the memoized result")
+	}
+	if fp(a) != fp(b) {
+		t.Error("simulation not deterministic across cache resets")
+	}
+}
+
+func TestGraphShared(t *testing.T) {
+	r := New(2)
+	a, err := r.Graph("SW", graph.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.Graph("SW", graph.ScaleTiny)
+	if a != b {
+		t.Error("graph rebuilt instead of memoized")
+	}
+	if _, err := r.Graph("NOPE", graph.ScaleTiny); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

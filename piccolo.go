@@ -30,6 +30,7 @@ import (
 	"piccolo/internal/core"
 	"piccolo/internal/dram"
 	"piccolo/internal/graph"
+	"piccolo/internal/runner"
 )
 
 // System identifies one of the six simulated accelerator systems.
@@ -87,6 +88,29 @@ func Kernels() []string { return []string{"pr", "bfs", "cc", "sssp", "sswp"} }
 
 // Run simulates the configured system executing the kernel on g.
 func Run(cfg Config, g *Graph) (*Result, error) { return core.Run(cfg, g) }
+
+// Job is one declarative sweep cell: a dataset name plus a Config. Jobs
+// with equal content hashes (Job.Key) are the same simulation and are
+// executed once per Runner.
+type Job = runner.Job
+
+// Runner executes jobs across a worker pool over a thread-safe
+// content-addressed result cache (DESIGN.md §7). Share one Runner across
+// sweeps to share its cache.
+type Runner = runner.Runner
+
+// RunnerStats reports a runner's cache hit/miss counters.
+type RunnerStats = runner.Stats
+
+// NewRunner returns a runner executing at most workers simulations
+// concurrently; workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewRunner(workers int) *Runner { return runner.New(workers) }
+
+// Sweep runs every job on a fresh default-width runner and returns the
+// results in submission order. For repeated or overlapping sweeps, build
+// one Runner with NewRunner and call its Sweep method so results are
+// cached across calls.
+func Sweep(jobs []Job) ([]*Result, error) { return runner.New(0).Sweep(jobs) }
 
 // Validate re-executes the kernel with the simulation-free reference and
 // checks the simulated vertex properties bit-for-bit.

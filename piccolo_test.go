@@ -55,6 +55,36 @@ func TestFacadeReference(t *testing.T) {
 	}
 }
 
+func TestFacadeSweep(t *testing.T) {
+	jobs := []Job{
+		{Dataset: "UU", Config: Config{System: SystemPiccolo, Kernel: "bfs", Scale: ScaleTiny, MaxIters: 2, Src: -1}},
+		{Dataset: "UU", Config: Config{System: SystemNMP, Kernel: "bfs", Scale: ScaleTiny, MaxIters: 2, Src: -1}},
+		{Dataset: "UU", Config: Config{System: SystemPiccolo, Kernel: "bfs", Scale: ScaleTiny, MaxIters: 2, Src: -1}},
+	}
+	results, err := Sweep(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || results[0].Cycles == 0 {
+		t.Fatalf("sweep results incomplete: %v", results)
+	}
+	if results[0] != results[2] {
+		t.Error("duplicate job not deduplicated")
+	}
+
+	r := NewRunner(2)
+	if _, err := r.Sweep(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Sweep(jobs); err != nil {
+		t.Fatal(err)
+	}
+	var s RunnerStats = r.Stats()
+	if s.Misses != 2 || s.HitRate() < 0.5 {
+		t.Errorf("runner stats = %+v, want 2 misses and hit rate >= 0.5", s)
+	}
+}
+
 func TestFacadeMemoryPresets(t *testing.T) {
 	for _, mc := range []MemoryConfig{DDR4(16), DDR4(8), LPDDR4(), GDDR5(), HBM(), Enhanced(HBM())} {
 		if mc.PeakBandwidthGBps() <= 0 {
