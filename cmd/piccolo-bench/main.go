@@ -6,18 +6,28 @@
 // figures (Fig. 10/12/13/14 share their baselines) simulate each cell
 // once.
 //
+// The host-executor experiment id "engine" runs the five kernels
+// functionally (no timing model) on a Kronecker graph and a dataset proxy,
+// with -engine selecting the serial reference loop or the sharded parallel
+// engine (DESIGN.md §9) and -workers its width — the quick way to see the
+// host-side speedup measured rigorously by internal/engine's benchmarks.
+//
 // Usage:
 //
-//	piccolo-bench [-scale tiny|small|medium] [-workers N] [-only fig10,fig14] [-md out.md]
+//	piccolo-bench [-scale tiny|small|medium] [-workers N] [-only fig10,fig14]
+//	              [-engine serial|parallel] [-md out.md]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"piccolo/internal/algorithms"
+	"piccolo/internal/engine"
 	"piccolo/internal/experiments"
 	"piccolo/internal/graph"
 	"piccolo/internal/runner"
@@ -29,8 +39,13 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig10,fig19b); empty = all")
 	mdPath := flag.String("md", "", "also write a markdown report to this path")
 	prIters := flag.Int("pr-iters", 3, "PageRank iteration cap")
-	workers := flag.Int("workers", 0, "parallel simulation workers; <= 0 selects GOMAXPROCS")
+	workers := flag.Int("workers", 0, "parallel simulation/engine workers; <= 0 selects GOMAXPROCS")
+	engineKind := flag.String("engine", "parallel", `host executor for the "engine" experiment: serial or parallel`)
 	flag.Parse()
+	if *engineKind != "serial" && *engineKind != "parallel" {
+		fmt.Fprintf(os.Stderr, "unknown -engine %q (want serial or parallel)\n", *engineKind)
+		os.Exit(2)
+	}
 
 	sc, err := graph.ParseScale(*scaleFlag)
 	if err != nil {
@@ -62,6 +77,7 @@ func main() {
 		{"fig19b", func() *stats.Table { t, _ := experiments.Fig19b(o); return t }},
 		{"fig20a", func() *stats.Table { t, _ := experiments.Fig20a(o); return t }},
 		{"fig20b", func() *stats.Table { t, _ := experiments.Fig20b(o); return t }},
+		{"engine", func() *stats.Table { return engineTable(sc, *engineKind, *workers) }},
 	}
 
 	want := map[string]bool{}
@@ -93,4 +109,62 @@ func main() {
 	s := r.Stats()
 	fmt.Printf("runner: %d workers, %d simulations, %d cache hits (%.1f%% hit rate)\n",
 		r.Workers(), s.Misses, s.Hits, 100*s.HitRate())
+}
+
+// engineTable times the five kernels on the host executor selected by
+// -engine: wall time, iterations, edge visits and throughput per workload.
+// Both executors produce bit-identical results (the §9 determinism
+// contract), so the table's Prop-derived columns never depend on the
+// executor — only the milliseconds do.
+func engineTable(sc graph.Scale, kind string, workers int) *stats.Table {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	kronScale := map[graph.Scale]int{graph.ScaleTiny: 12, graph.ScaleSmall: 15, graph.ScaleMedium: 17}[sc]
+	workloads := []*graph.CSR{
+		graph.Kronecker(fmt.Sprintf("KN%d", kronScale), kronScale, 16, 42),
+		mustDataset("SW", sc),
+	}
+	t := stats.NewTable(fmt.Sprintf("Host executor (%s)", kind),
+		"graph", "kernel", "iters", "edge visits", "ms", "MTEPS")
+	for _, g := range workloads {
+		src := graph.HighestDegreeVertex(g)
+		var eng *engine.Engine
+		if kind == "parallel" {
+			eng = engine.New(g, engine.Config{Workers: workers})
+			// Warm once so the timed rows measure steady state, not the
+			// lazy sub-CSR build and first buffer allocations (the serial
+			// rows have no equivalent one-time cost).
+			eng.Run(algorithms.All()[0], src, 1)
+		}
+		for _, k := range algorithms.All() {
+			maxIters := engine.DefaultMaxIters
+			if k.AllActive() {
+				maxIters = 40
+			}
+			start := time.Now()
+			var res *algorithms.ReferenceResult
+			if kind == "serial" {
+				res = algorithms.RunReference(g, k, src, maxIters)
+			} else {
+				res = eng.Run(k, src, maxIters)
+			}
+			el := time.Since(start)
+			t.AddRow(g.Name, k.Name(), fmt.Sprintf("%d", res.Iterations),
+				stats.I(res.EdgeVisits), stats.F(float64(el.Microseconds())/1000),
+				stats.F(float64(res.EdgeVisits)/el.Seconds()/1e6))
+		}
+	}
+	if kind == "parallel" {
+		t.AddNote("engine: %d workers, results bit-identical to -engine serial", workers)
+	}
+	return t
+}
+
+func mustDataset(name string, sc graph.Scale) *graph.CSR {
+	d, err := graph.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return d.Build(sc)
 }

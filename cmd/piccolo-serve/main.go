@@ -29,6 +29,7 @@ import (
 	"piccolo/internal/cache"
 	"piccolo/internal/core"
 	"piccolo/internal/dram"
+	"piccolo/internal/engine"
 	"piccolo/internal/graph"
 	"piccolo/internal/runner"
 )
@@ -191,6 +192,74 @@ func response(j runner.Job, r *core.Result) jobResponse {
 	return out
 }
 
+// queryRequest is the JSON wire form of one runner.Query plus the response
+// shaping knob k (top-k size).
+type queryRequest struct {
+	Dataset  string `json:"dataset"`
+	Kernel   string `json:"kernel"`
+	Scale    string `json:"scale,omitempty"`
+	Src      *int64 `json:"src,omitempty"`
+	MaxIters int    `json:"max_iters,omitempty"`
+	TopK     int    `json:"k,omitempty"` // default 10, capped at 1000
+}
+
+// query validates the request and lowers it onto a runner.Query plus the
+// top-k size.
+func (q queryRequest) query() (runner.Query, int, error) {
+	if q.Dataset == "" {
+		return runner.Query{}, 0, fmt.Errorf("missing dataset")
+	}
+	if _, err := graph.ByName(q.Dataset); err != nil {
+		return runner.Query{}, 0, err
+	}
+	kernel := q.Kernel
+	if kernel == "" {
+		kernel = "pr"
+	}
+	if _, err := algorithms.New(kernel); err != nil {
+		return runner.Query{}, 0, err
+	}
+	sc, err := graph.ParseScale(q.Scale)
+	if err != nil {
+		return runner.Query{}, 0, err
+	}
+	if q.MaxIters < 0 {
+		return runner.Query{}, 0, fmt.Errorf("negative max_iters")
+	}
+	topK := q.TopK
+	switch {
+	case topK < 0:
+		return runner.Query{}, 0, fmt.Errorf("negative k")
+	case topK == 0:
+		topK = 10
+	case topK > 1000:
+		topK = 1000
+	}
+	src := int64(-1)
+	if q.Src != nil && *q.Src >= 0 {
+		src = *q.Src
+	}
+	return runner.Query{
+		Dataset:  q.Dataset,
+		Kernel:   kernel,
+		Scale:    sc,
+		Src:      src,
+		MaxIters: q.MaxIters,
+	}, topK, nil
+}
+
+// queryResponse is the JSON wire form of one functional query result.
+type queryResponse struct {
+	Key        string               `json:"key"`
+	Dataset    string               `json:"dataset"`
+	Kernel     string               `json:"kernel"`
+	Vertices   uint32               `json:"vertices"`
+	Edges      uint64               `json:"edges"`
+	Iterations int                  `json:"iterations"`
+	EdgeVisits uint64               `json:"edge_visits"`
+	Top        []engine.VertexScore `json:"top"`
+}
+
 // server wires the HTTP handlers to one shared runner and one batcher.
 type server struct {
 	runner *runner.Runner
@@ -226,6 +295,7 @@ func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -266,6 +336,52 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, response(job, res))
+}
+
+// handleQuery runs a kernel functionally on the parallel engine (no timing
+// model) and returns the top-k vertices plus execution stats. Results are
+// cached content-addressed like simulation jobs; the engine's worker count
+// is not part of the identity because results are bit-identical at every
+// width.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, topK, err := req.query()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, err := s.runner.Graph(q.Dataset, q.Scale)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Canonicalize exactly as RunQuery keys the cache, so the response's
+	// `key` field names the entry the result is actually stored under.
+	q = q.CanonicalFor(g)
+	res, err := s.runner.RunQuery(q)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	top, err := engine.TopK(q.Kernel, res.Prop, topK)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, queryResponse{
+		Key:        q.Key(),
+		Dataset:    q.Dataset,
+		Kernel:     q.Kernel,
+		Vertices:   g.V,
+		Edges:      g.E(),
+		Iterations: res.Iterations,
+		EdgeVisits: res.EdgeVisits,
+		Top:        top,
+	})
 }
 
 // handleSweep simulates a batch and responds in submission order.
@@ -310,11 +426,15 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.runner.Stats()
+	qst := s.runner.QueryStats()
 	writeJSON(w, map[string]any{
 		"workers":        s.runner.Workers(),
 		"cache_hits":     st.Hits,
 		"cache_misses":   st.Misses,
 		"cache_hit_rate": st.HitRate(),
+		"query_hits":     qst.Hits,
+		"query_misses":   qst.Misses,
+		"query_hit_rate": qst.HitRate(),
 		"batches":        s.batch.batches(),
 	})
 }

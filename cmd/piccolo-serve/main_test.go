@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"piccolo/internal/accel"
+	"piccolo/internal/algorithms"
 	"piccolo/internal/core"
+	"piccolo/internal/engine"
 	"piccolo/internal/graph"
 	"piccolo/internal/runner"
 )
@@ -233,5 +235,106 @@ func TestJobRequestMemoryOverride(t *testing.T) {
 	}
 	if plain.Config.Mem.Name != "" {
 		t.Errorf("default memory not zero: %q", plain.Config.Mem.Name)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	req := queryRequest{Dataset: "SW", Kernel: "bfs", Scale: "tiny", TopK: 5}
+	resp := post(t, ts.URL+"/query", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kernel != "bfs" || out.Vertices == 0 || out.Iterations == 0 || out.Key == "" {
+		t.Fatalf("implausible query response: %+v", out)
+	}
+	if len(out.Top) == 0 || len(out.Top) > 5 {
+		t.Fatalf("top-k size = %d, want 1..5", len(out.Top))
+	}
+	if out.Top[0].Score != 0 {
+		t.Fatalf("closest BFS vertex should be the source at distance 0, got %+v", out.Top[0])
+	}
+
+	// Exact repeat and a different negative src spelling: both cache hits.
+	post(t, ts.URL+"/query", req).Body.Close()
+	src := int64(-5)
+	req2 := req
+	req2.Src = &src
+	post(t, ts.URL+"/query", req2).Body.Close()
+	if st := s.runner.QueryStats(); st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("query stats = %+v, want 1 miss / 2 hits", st)
+	}
+
+	// The functional result must be the reference, bit for bit.
+	g, err := s.runner.Graph("SW", graph.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.runner.RunQuery(runner.Query{Dataset: "SW", Kernel: "bfs", Scale: graph.ScaleTiny, Src: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refProp, refIters := referenceBFS(t, g)
+	if res.Iterations != refIters {
+		t.Fatalf("query iterations = %d, reference %d", res.Iterations, refIters)
+	}
+	for v := range refProp {
+		if res.Prop[v] != refProp[v] {
+			t.Fatalf("query prop[%d] = %#x, reference %#x", v, res.Prop[v], refProp[v])
+		}
+	}
+}
+
+func referenceBFS(t *testing.T, g *graph.CSR) ([]uint64, int) {
+	t.Helper()
+	k, err := algorithms.New("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := algorithms.RunReference(g, k, graph.HighestDegreeVertex(g), engine.DefaultMaxIters)
+	return ref.Prop, ref.Iterations
+}
+
+func TestQueryBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	for name, req := range map[string]queryRequest{
+		"missing dataset": {Kernel: "bfs"},
+		"bad dataset":     {Dataset: "NOPE", Kernel: "bfs"},
+		"bad kernel":      {Dataset: "SW", Kernel: "dijkstra"},
+		"bad scale":       {Dataset: "SW", Kernel: "bfs", Scale: "huge"},
+		"negative iters":  {Dataset: "SW", Kernel: "bfs", MaxIters: -1},
+		"negative k":      {Dataset: "SW", Kernel: "bfs", TopK: -2},
+	} {
+		resp := post(t, ts.URL+"/query", req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestQueryCCComponents(t *testing.T) {
+	_, ts := testServer(t)
+	resp := post(t, ts.URL+"/query", queryRequest{Dataset: "UU", Kernel: "cc", Scale: "tiny", TopK: 3})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Top) == 0 {
+		t.Fatal("cc query returned no components")
+	}
+	for i := 1; i < len(out.Top); i++ {
+		if out.Top[i].Score > out.Top[i-1].Score {
+			t.Fatalf("components not sorted by size: %+v", out.Top)
+		}
 	}
 }

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"piccolo/internal/algorithms"
+	"piccolo/internal/graph"
+)
+
+// benchGraph is a Kronecker power-law graph big enough that the parallel
+// engine's speedup over the serial reference is measurable: 2^16 vertices,
+// ~1M edges. Built once per test binary.
+var benchGraph = sync.OnceValue(func() *graph.CSR {
+	return graph.Kronecker("KN16", 16, 16, 42)
+})
+
+// benchKernel runs one executor variant: workers == 0 selects the serial
+// reference loop, workers > 0 the sharded parallel engine.
+func benchKernel(b *testing.B, kernel string, maxIters, workers int) {
+	g := benchGraph()
+	k, err := algorithms.New(kernel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := graph.HighestDegreeVertex(g)
+	var edges uint64
+	if workers == 0 {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			edges = algorithms.RunReference(g, k, src, maxIters).EdgeVisits
+		}
+	} else {
+		e := New(g, Config{Workers: workers})
+		edges = e.Run(k, src, maxIters).EdgeVisits // warm: builds sub-CSRs + buffers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			edges = e.Run(k, src, maxIters).EdgeVisits
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(edges)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MTEPS")
+	}
+}
+
+// BenchmarkEnginePR compares serial vs parallel PageRank (dense mode) on
+// the Kronecker graph; `go test -bench EnginePR ./internal/engine` shows
+// the speedup per worker count.
+func BenchmarkEnginePR(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchKernel(b, "pr", 10, 0) })
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("parallel-"+strconv.Itoa(w), func(b *testing.B) { benchKernel(b, "pr", 10, w) })
+	}
+}
+
+// BenchmarkEngineBFS compares serial vs parallel BFS (sparse mode) run to
+// completion from the highest-degree vertex.
+func BenchmarkEngineBFS(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchKernel(b, "bfs", DefaultMaxIters, 0) })
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("parallel-"+strconv.Itoa(w), func(b *testing.B) { benchKernel(b, "bfs", DefaultMaxIters, w) })
+	}
+}

@@ -1,0 +1,489 @@
+// Package engine is the sharded parallel execution engine: a frontier-based
+// vertex-centric executor for the five kernels that produces results
+// bit-identical to algorithms.RunReference at any worker count.
+//
+// Parallelism comes from partitioning *destination* vertices into shards
+// (shard.go): every destination is owned by exactly one shard, so the
+// per-vertex accumulator Vtemp[v] is written by a single goroutine, and each
+// shard consumes contributions in ascending (source, edge-index) order —
+// exactly the fold order of the reference executor's serial loop. Because
+// the Reduce fold over each vertex's contributions replays the reference
+// order operation for operation, the output is bit-identical even for
+// PageRank, whose float64 summation is not associative and therefore
+// sensitive to merge order (DESIGN.md §9).
+//
+// Two iteration modes cover the paper's kernels:
+//
+//   - dense (PR-style AllActive): the graph is pre-split once into
+//     destination-sharded sub-CSRs, and every iteration each shard streams
+//     its own edge slice — no filtering, no materialization.
+//   - sparse (BFS/CC/SSSP/SSWP): a scatter phase partitions the sorted
+//     frontier into contiguous chunks and materializes (dst, contribution)
+//     pairs into per-(chunk, shard) buckets; the gather phase merges the
+//     buckets per shard in fixed ascending chunk order, which concatenates
+//     back to ascending source order.
+//
+// All phase buffers live on the Engine and are reused across iterations and
+// runs. An Engine is not safe for concurrent Run calls; build one per
+// goroutine (the graph itself is shared read-only).
+package engine
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"piccolo/internal/algorithms"
+	"piccolo/internal/graph"
+)
+
+// DefaultMaxIters is the iteration cap applied by callers that pass no
+// explicit bound (piccolo.RunKernel, runner queries). It is far above the
+// convergence point of every kernel at the reproduction's scales; it exists
+// so a pathological input cannot spin forever.
+const DefaultMaxIters = 10000
+
+// Config tunes an Engine. The zero value selects GOMAXPROCS workers.
+type Config struct {
+	// Workers is the number of goroutines per parallel phase; <= 0 selects
+	// runtime.GOMAXPROCS(0). Results are bit-identical at every value.
+	Workers int
+	// Shards is the number of destination partitions; 0 selects
+	// 2 × Workers (capped), which over-decomposes a little for load
+	// balance on skewed in-degree distributions while keeping the
+	// sub-CSR source lists (the streaming mode's fixed scan cost) small.
+	// Results are bit-identical at every value.
+	Shards int
+}
+
+// Result is the functional output, structurally identical to the reference
+// executor's so differential tests compare the two directly.
+type Result = algorithms.ReferenceResult
+
+// pair is one materialized contribution in the sparse scatter phase.
+type pair struct {
+	dst     uint32
+	contrib uint64
+}
+
+// Engine executes kernels on one graph with a fixed sharding.
+type Engine struct {
+	g       *graph.CSR
+	workers int
+	shards  int
+
+	// bounds[s]..bounds[s+1] is the destination range owned by shard s;
+	// owner[v] is the shard owning destination v.
+	bounds []uint32
+	owner  []uint16
+
+	// dense sub-CSRs, built on the first AllActive run or the first fat
+	// sparse frontier; srcsTotal is the sum of their source-list lengths
+	// (the per-iteration scan cost of the streaming path).
+	dense     []denseShard
+	denseOnce sync.Once
+	srcsTotal uint64
+
+	// Per-run state, reused across iterations and runs.
+	vtemp    []uint64
+	updated  []bool
+	activeIn []bool
+	frontier []uint32
+	touched  [][]uint32 // per shard: destinations with contributions
+	next     [][]uint32 // per shard: activated vertices (sorted)
+	buckets  [][][]pair // [chunk][shard] scatter buckets
+	shardCnt []uint64   // edges processed per dense shard
+	moved    []bool     // per-shard dense convergence flag
+}
+
+// New builds an engine for g. The sharding pass is O(V+E); dense sub-CSRs
+// are built lazily on the first AllActive kernel run.
+func New(g *graph.CSR, cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	p := cfg.Shards
+	if p <= 0 {
+		p = 2 * w
+	}
+	if p > maxShards {
+		p = maxShards
+	}
+	if uint32(p) > g.V {
+		p = int(g.V)
+	}
+	if p < 1 {
+		p = 1
+	}
+	e := &Engine{g: g, workers: w, shards: p}
+	e.partition()
+	return e
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// SetWorkers adjusts the phase-parallelism width for subsequent Run calls
+// (w <= 0 selects GOMAXPROCS). The sharding is unchanged and results are
+// bit-identical at every width, so a cached Engine can be re-run at
+// whatever parallelism is available right now. Like Run, not safe to call
+// concurrently with a running execution.
+func (e *Engine) SetWorkers(w int) {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e.workers = w
+}
+
+// Shards returns the number of destination partitions.
+func (e *Engine) Shards() int { return e.shards }
+
+// Run executes the kernel from src until convergence or maxIters and
+// returns properties, iteration count and edge visits bit-identical to
+// algorithms.RunReference(g, k, src, maxIters).
+func (e *Engine) Run(k algorithms.Kernel, src uint32, maxIters int) *Result {
+	g := e.g
+	prop, active := k.Init(g, src)
+	res := &Result{}
+	e.ensureState()
+	identity := k.Identity()
+	for i := range e.vtemp {
+		e.vtemp[i] = identity
+	}
+	// updated/activeIn are cleared by the phases that set them, but an
+	// aborted (panicked) earlier run may have left stale marks — a stale
+	// updated[v] would silently drop v's contributions. Clearing here
+	// makes every Run self-contained for O(V), which the per-iteration
+	// work dwarfs.
+	clear(e.updated)
+	clear(e.activeIn)
+	if k.AllActive() {
+		e.runDense(k, prop, active, maxIters, res)
+	} else {
+		e.runSparse(k, prop, active, maxIters, res)
+	}
+	res.Prop = prop
+	return res
+}
+
+// ensureState allocates the per-run buffers on first use.
+func (e *Engine) ensureState() {
+	if e.vtemp != nil {
+		return
+	}
+	e.vtemp = make([]uint64, e.g.V)
+	e.updated = make([]bool, e.g.V)
+	e.activeIn = make([]bool, e.g.V)
+	e.touched = make([][]uint32, e.shards)
+	e.next = make([][]uint32, e.shards)
+	e.shardCnt = make([]uint64, e.shards)
+	e.moved = make([]bool, e.shards)
+}
+
+// runDense is the AllActive (PR-style) mode: every shard streams its dense
+// sub-CSR each iteration, then applies over its owned vertex range.
+func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, maxIters int, res *Result) {
+	e.denseOnce.Do(e.buildDense)
+	g := e.g
+	identity := k.Identity()
+
+	anyActive := false
+	allActive := true
+	for _, a := range active {
+		if a {
+			anyActive = true
+		} else {
+			allActive = false
+		}
+	}
+	// act == nil means every source is active, which holds from the second
+	// iteration on (the reference re-activates every vertex while any
+	// property moves); the first iteration honors Init's flags.
+	act := active
+	if allActive {
+		act = nil
+	}
+
+	fp := fastOpsFor(k)
+	fastDense := fp != nil && fp.dense != nil
+
+	for iter := 0; iter < maxIters && anyActive; iter++ {
+		res.Iterations++
+		e.parallelDo(e.shards, func(s int) {
+			ds := &e.dense[s]
+			vtemp := e.vtemp
+			var cnt uint64
+			for i, u := range ds.srcs {
+				if act != nil && !act[u] {
+					continue
+				}
+				deg := g.OutDeg(u)
+				pu := prop[u]
+				lo, hi := ds.rowPtr[i], ds.rowPtr[i+1]
+				if fastDense {
+					fp.dense(vtemp, ds.col[lo:hi], ds.weight[lo:hi], pu, deg)
+				} else {
+					for j := lo; j < hi; j++ {
+						v := ds.col[j]
+						vtemp[v] = k.Reduce(vtemp[v], k.Process(ds.weight[j], pu, deg))
+					}
+				}
+				cnt += uint64(hi - lo)
+			}
+			e.shardCnt[s] = cnt
+		})
+		e.parallelDo(e.shards, func(s int) {
+			moved := false
+			for v := e.bounds[s]; v < e.bounds[s+1]; v++ {
+				newProp := k.Apply(prop[v], e.vtemp[v])
+				if !k.Converged(prop[v], newProp) {
+					moved = true
+				}
+				prop[v] = newProp
+				e.vtemp[v] = identity
+			}
+			e.moved[s] = moved
+		})
+		for s := 0; s < e.shards; s++ {
+			res.EdgeVisits += e.shardCnt[s]
+		}
+		anyActive = false
+		for _, m := range e.moved {
+			if m {
+				anyActive = true
+				break
+			}
+		}
+		act = nil
+	}
+}
+
+// runSparse is the frontier mode. Each iteration picks one of two
+// bit-identical contribution strategies by frontier fatness — materialized
+// scatter-gather for thin frontiers, direct sub-CSR streaming for fat ones
+// (the iPregel-style frontier-aware switch) — then applies per shard and
+// rebuilds the frontier in shard order.
+func (e *Engine) runSparse(k algorithms.Kernel, prop []uint64, active []bool, maxIters int, res *Result) {
+	g := e.g
+	identity := k.Identity()
+	fp := fastOpsFor(k)
+
+	frontier := e.frontier[:0]
+	for v := uint32(0); v < g.V; v++ {
+		if active[v] {
+			frontier = append(frontier, v)
+		}
+	}
+
+	for iter := 0; iter < maxIters && len(frontier) > 0; iter++ {
+		res.Iterations++
+
+		// Both strategies process exactly the out-edges of the frontier, in
+		// the same per-destination order, so edge accounting and results
+		// are identical; only the constant factors differ.
+		var frontierEdges uint64
+		for _, u := range frontier {
+			frontierEdges += uint64(g.OutDeg(u))
+		}
+		res.EdgeVisits += frontierEdges
+		if e.streamWorthwhile(frontierEdges) {
+			e.denseOnce.Do(e.buildDense)
+			e.streamContributions(k, fp, prop, frontier)
+		} else {
+			e.scatterContributions(k, fp, prop, frontier)
+		}
+
+		e.parallelDo(e.shards, func(s int) {
+			next := e.next[s][:0]
+			for _, v := range e.touched[s] {
+				newProp := k.Apply(prop[v], e.vtemp[v])
+				if !k.Converged(prop[v], newProp) {
+					prop[v] = newProp
+					next = append(next, v)
+				}
+				e.vtemp[v] = identity
+				e.updated[v] = false
+			}
+			slices.Sort(next)
+			e.next[s] = next
+		})
+
+		// Shards own ascending destination ranges, so concatenating their
+		// sorted activation lists in shard order yields the next frontier
+		// already sorted ascending.
+		frontier = frontier[:0]
+		for s := 0; s < e.shards; s++ {
+			frontier = append(frontier, e.next[s]...)
+		}
+	}
+	e.frontier = frontier
+}
+
+// streamWorthwhile decides when streaming the sub-CSRs beats materializing
+// contributions: the streaming pass pays one active-flag check per sub-CSR
+// source entry, so it wins once the frontier's edge count exceeds that
+// fixed scan cost. Before the sub-CSRs exist their size is estimated at V.
+// The choice affects performance only — both paths are bit-identical — so
+// it is free to differ across worker counts.
+func (e *Engine) streamWorthwhile(frontierEdges uint64) bool {
+	if e.dense == nil {
+		return frontierEdges > uint64(e.g.V)
+	}
+	return frontierEdges > e.srcsTotal
+}
+
+// streamContributions is the fat-frontier strategy: every shard streams its
+// own sub-CSR, skipping inactive sources, and reduces straight into Vtemp —
+// no materialization. Source order is ascending within the shard, so the
+// per-destination fold order is the reference order.
+func (e *Engine) streamContributions(k algorithms.Kernel, fp *fastOps, prop []uint64, frontier []uint32) {
+	g := e.g
+	fast := fp != nil && fp.stream != nil
+	for _, u := range frontier {
+		e.activeIn[u] = true
+	}
+	e.parallelDo(e.shards, func(s int) {
+		ds := &e.dense[s]
+		touched := e.touched[s][:0]
+		vtemp := e.vtemp
+		for i, u := range ds.srcs {
+			if !e.activeIn[u] {
+				continue
+			}
+			deg := g.OutDeg(u)
+			pu := prop[u]
+			lo, hi := ds.rowPtr[i], ds.rowPtr[i+1]
+			if fast {
+				touched = fp.stream(vtemp, ds.col[lo:hi], ds.weight[lo:hi], pu, deg, e.updated, touched)
+				continue
+			}
+			for j := lo; j < hi; j++ {
+				v := ds.col[j]
+				if !e.updated[v] {
+					e.updated[v] = true
+					touched = append(touched, v)
+				}
+				vtemp[v] = k.Reduce(vtemp[v], k.Process(ds.weight[j], pu, deg))
+			}
+		}
+		e.touched[s] = touched
+	})
+	for _, u := range frontier {
+		e.activeIn[u] = false
+	}
+}
+
+// scatterContributions is the thin-frontier strategy: contiguous frontier
+// chunks materialize (dst, contribution) pairs into per-(chunk, shard)
+// buckets, and each shard folds its buckets in ascending chunk order.
+// Concatenating contiguous chunks in index order restores ascending source
+// order no matter where the boundaries fall, so the chunk count is free to
+// track the worker count without affecting results.
+func (e *Engine) scatterContributions(k algorithms.Kernel, fp *fastOps, prop []uint64, frontier []uint32) {
+	g := e.g
+	fastScatter := fp != nil && fp.scatter != nil
+	fastGather := fp != nil && fp.gather != nil
+	chunks := 4 * e.workers
+	if chunks > len(frontier) {
+		chunks = len(frontier)
+	}
+	size := (len(frontier) + chunks - 1) / chunks
+	chunks = (len(frontier) + size - 1) / size
+	e.ensureBuckets(chunks)
+
+	e.parallelDo(chunks, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > len(frontier) {
+			hi = len(frontier)
+		}
+		bk := e.buckets[c]
+		for s := range bk {
+			bk[s] = bk[s][:0]
+		}
+		for _, u := range frontier[lo:hi] {
+			dsts, ws := g.Neighbors(u)
+			deg := uint32(len(dsts))
+			pu := prop[u]
+			if fastScatter {
+				fp.scatter(bk, e.owner, dsts, ws, pu, deg)
+				continue
+			}
+			for i, v := range dsts {
+				s := e.owner[v]
+				bk[s] = append(bk[s], pair{v, k.Process(ws[i], pu, deg)})
+			}
+		}
+	})
+
+	e.parallelDo(e.shards, func(s int) {
+		touched := e.touched[s][:0]
+		vtemp := e.vtemp
+		for c := 0; c < chunks; c++ {
+			b := e.buckets[c][s]
+			if fastGather {
+				touched = fp.gather(vtemp, b, e.updated, touched)
+				continue
+			}
+			for _, p := range b {
+				if !e.updated[p.dst] {
+					e.updated[p.dst] = true
+					touched = append(touched, p.dst)
+				}
+				vtemp[p.dst] = k.Reduce(vtemp[p.dst], p.contrib)
+			}
+		}
+		e.touched[s] = touched
+	})
+}
+
+// ensureBuckets grows the scatter bucket matrix to at least n chunks.
+func (e *Engine) ensureBuckets(n int) {
+	for len(e.buckets) < n {
+		e.buckets = append(e.buckets, make([][]pair, e.shards))
+	}
+}
+
+// parallelDo runs fn(0..tasks-1) across the engine's workers, pulling task
+// indices from a shared atomic counter, and returns after every task
+// completes (the WaitGroup is the phase barrier the determinism argument
+// relies on).
+func (e *Engine) parallelDo(tasks int, fn func(int)) {
+	if tasks <= 0 {
+		return
+	}
+	w := e.workers
+	if w > tasks {
+		w = tasks
+	}
+	if w <= 1 {
+		for t := 0; t < tasks; t++ {
+			fn(t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1) - 1)
+				if t >= tasks {
+					return
+				}
+				fn(t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run is the one-shot convenience: build an engine with workers goroutines
+// and execute the kernel once.
+func Run(g *graph.CSR, k algorithms.Kernel, src uint32, maxIters, workers int) *Result {
+	return New(g, Config{Workers: workers}).Run(k, src, maxIters)
+}

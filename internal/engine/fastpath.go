@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"math"
+
+	"piccolo/internal/algorithms"
+)
+
+// fastOps are per-kernel monomorphized edge loops. The generic executor
+// pays two interface calls (Process, Reduce) per edge; these fold a whole
+// source's edge slice per call with the kernel's arithmetic inlined, which
+// is where the engine's single-core advantage over the reference loop comes
+// from. Every loop replays the exact reference semantics — Reduce(a, b) for
+// min/max kernels is a compare-and-assign, and PageRank's per-edge
+// contribution bits(prop/deg) is computed once per source (the division is
+// deterministic, so hoisting it preserves bit-identity).
+//
+// Unknown (user-supplied) kernels fall back to the generic interface loops;
+// the differential tests cover both paths.
+type fastOps struct {
+	// stream folds one source's in-shard edge slice into vtemp with
+	// first-touch tracking (sparse streaming mode); returns the grown
+	// touched list.
+	stream func(vtemp []uint64, col []uint32, weight []uint8, pu uint64, deg uint32, updated []bool, touched []uint32) []uint32
+	// dense folds one source's in-shard edge slice into vtemp without
+	// touch tracking (AllActive mode).
+	dense func(vtemp []uint64, col []uint32, weight []uint8, pu uint64, deg uint32)
+	// scatter appends one source's (dst, contribution) pairs into the
+	// chunk's per-shard buckets (sparse scatter mode).
+	scatter func(bk [][]pair, owner []uint16, col []uint32, weight []uint8, pu uint64, deg uint32)
+	// gather folds one materialized bucket into vtemp with first-touch
+	// tracking; returns the grown touched list.
+	gather func(vtemp []uint64, b []pair, updated []bool, touched []uint32) []uint32
+}
+
+// fastOpsFor resolves the specialized loops for the five paper kernels;
+// nil selects the generic interface path.
+func fastOpsFor(k algorithms.Kernel) *fastOps {
+	switch k.(type) {
+	case algorithms.PageRank:
+		return &fastOps{dense: densePR}
+	case algorithms.BFS:
+		return &fastOps{stream: streamBFS, scatter: scatterBFS, gather: gatherMin}
+	case algorithms.CC:
+		return &fastOps{stream: streamCC, scatter: scatterCC, gather: gatherMin}
+	case algorithms.SSSP:
+		return &fastOps{stream: streamSSSP, scatter: scatterSSSP, gather: gatherMin}
+	case algorithms.SSWP:
+		return &fastOps{stream: streamSSWP, scatter: scatterSSWP, gather: gatherMax}
+	}
+	return nil
+}
+
+// densePR: Process = bits(rank/deg), Reduce = float64 sum. deg ≥ 1 because
+// the source has at least one edge in this shard.
+func densePR(vtemp []uint64, col []uint32, _ []uint8, pu uint64, deg uint32) {
+	c := math.Float64frombits(pu) / float64(deg)
+	for _, v := range col {
+		vtemp[v] = math.Float64bits(math.Float64frombits(vtemp[v]) + c)
+	}
+}
+
+// BFS: contribution level+1, Reduce = min.
+func streamBFS(vtemp []uint64, col []uint32, _ []uint8, pu uint64, _ uint32, updated []bool, touched []uint32) []uint32 {
+	c := pu + 1
+	for _, v := range col {
+		if !updated[v] {
+			updated[v] = true
+			touched = append(touched, v)
+		}
+		if c < vtemp[v] {
+			vtemp[v] = c
+		}
+	}
+	return touched
+}
+
+func scatterBFS(bk [][]pair, owner []uint16, col []uint32, _ []uint8, pu uint64, _ uint32) {
+	c := pu + 1
+	for _, v := range col {
+		s := owner[v]
+		bk[s] = append(bk[s], pair{v, c})
+	}
+}
+
+// CC: contribution = the source's label, Reduce = min.
+func streamCC(vtemp []uint64, col []uint32, _ []uint8, pu uint64, _ uint32, updated []bool, touched []uint32) []uint32 {
+	for _, v := range col {
+		if !updated[v] {
+			updated[v] = true
+			touched = append(touched, v)
+		}
+		if pu < vtemp[v] {
+			vtemp[v] = pu
+		}
+	}
+	return touched
+}
+
+func scatterCC(bk [][]pair, owner []uint16, col []uint32, _ []uint8, pu uint64, _ uint32) {
+	for _, v := range col {
+		s := owner[v]
+		bk[s] = append(bk[s], pair{v, pu})
+	}
+}
+
+// SSSP: contribution = dist + weight, Reduce = min.
+func streamSSSP(vtemp []uint64, col []uint32, weight []uint8, pu uint64, _ uint32, updated []bool, touched []uint32) []uint32 {
+	for i, v := range col {
+		c := pu + uint64(weight[i])
+		if !updated[v] {
+			updated[v] = true
+			touched = append(touched, v)
+		}
+		if c < vtemp[v] {
+			vtemp[v] = c
+		}
+	}
+	return touched
+}
+
+func scatterSSSP(bk [][]pair, owner []uint16, col []uint32, weight []uint8, pu uint64, _ uint32) {
+	for i, v := range col {
+		s := owner[v]
+		bk[s] = append(bk[s], pair{v, pu + uint64(weight[i])})
+	}
+}
+
+// SSWP: contribution = min(capacity, weight), Reduce = max.
+func streamSSWP(vtemp []uint64, col []uint32, weight []uint8, pu uint64, _ uint32, updated []bool, touched []uint32) []uint32 {
+	for i, v := range col {
+		c := uint64(weight[i])
+		if pu < c {
+			c = pu
+		}
+		if !updated[v] {
+			updated[v] = true
+			touched = append(touched, v)
+		}
+		if c > vtemp[v] {
+			vtemp[v] = c
+		}
+	}
+	return touched
+}
+
+func scatterSSWP(bk [][]pair, owner []uint16, col []uint32, weight []uint8, pu uint64, _ uint32) {
+	for i, v := range col {
+		c := uint64(weight[i])
+		if pu < c {
+			c = pu
+		}
+		s := owner[v]
+		bk[s] = append(bk[s], pair{v, c})
+	}
+}
+
+func gatherMin(vtemp []uint64, b []pair, updated []bool, touched []uint32) []uint32 {
+	for _, p := range b {
+		if !updated[p.dst] {
+			updated[p.dst] = true
+			touched = append(touched, p.dst)
+		}
+		if p.contrib < vtemp[p.dst] {
+			vtemp[p.dst] = p.contrib
+		}
+	}
+	return touched
+}
+
+func gatherMax(vtemp []uint64, b []pair, updated []bool, touched []uint32) []uint32 {
+	for _, p := range b {
+		if !updated[p.dst] {
+			updated[p.dst] = true
+			touched = append(touched, p.dst)
+		}
+		if p.contrib > vtemp[p.dst] {
+			vtemp[p.dst] = p.contrib
+		}
+	}
+	return touched
+}

@@ -1,0 +1,104 @@
+package engine
+
+// maxShards bounds the destination partition count. owner is a []uint16 so
+// the hard ceiling is 65536; 1024 is already far beyond any sensible worker
+// count and keeps the per-shard bookkeeping slices small.
+const maxShards = 1024
+
+// partition splits the destination space [0, V) into contiguous shards
+// balanced by in-degree, so skewed (power-law) graphs spread their gather
+// work evenly. Boundaries depend only on the graph and the shard count —
+// never on the worker count — and results are bit-identical for every
+// choice anyway (each destination has a single owner and each owner folds
+// in reference order).
+func (e *Engine) partition() {
+	g := e.g
+	indeg := make([]uint32, g.V)
+	for _, v := range g.Col {
+		indeg[v]++
+	}
+	e.bounds = make([]uint32, e.shards+1)
+	e.owner = make([]uint16, g.V)
+	// Weight each vertex by in-degree plus one: the +1 spreads long
+	// zero-in-degree ranges instead of collapsing them into one shard.
+	total := g.E() + uint64(g.V)
+	v := uint32(0)
+	var acc uint64
+	for s := 0; s < e.shards; s++ {
+		e.bounds[s] = v
+		target := total * uint64(s+1) / uint64(e.shards)
+		for v < g.V && acc < target {
+			acc += uint64(indeg[v]) + 1
+			e.owner[v] = uint16(s)
+			v++
+		}
+	}
+	e.bounds[e.shards] = g.V
+	for ; v < g.V; v++ {
+		e.owner[v] = uint16(e.shards - 1)
+	}
+}
+
+// denseShard is the destination-sharded sub-CSR used by the AllActive mode:
+// the edges whose destination the shard owns, grouped by source in
+// ascending order with the original per-source edge order preserved, so a
+// full stream of the shard replays the reference executor's Reduce order
+// for every owned vertex.
+type denseShard struct {
+	srcs   []uint32 // sources with at least one edge into this shard
+	rowPtr []uint64 // col/weight range of srcs[i] is [rowPtr[i], rowPtr[i+1])
+	col    []uint32
+	weight []uint8
+}
+
+// buildDense splits the graph's edges into per-shard sub-CSRs in two O(E)
+// passes (count, then fill). Memory cost is one extra copy of Col+Weight.
+func (e *Engine) buildDense() {
+	g := e.g
+	edges := make([]uint64, e.shards)
+	rows := make([]uint64, e.shards)
+	last := make([]int64, e.shards)
+	for s := range last {
+		last[s] = -1
+	}
+	for u := uint32(0); u < g.V; u++ {
+		dsts, _ := g.Neighbors(u)
+		for _, v := range dsts {
+			s := e.owner[v]
+			edges[s]++
+			if last[s] != int64(u) {
+				last[s] = int64(u)
+				rows[s]++
+			}
+		}
+	}
+	e.dense = make([]denseShard, e.shards)
+	for s := range e.dense {
+		e.dense[s] = denseShard{
+			srcs:   make([]uint32, 0, rows[s]),
+			rowPtr: append(make([]uint64, 0, rows[s]+1), 0),
+			col:    make([]uint32, 0, edges[s]),
+			weight: make([]uint8, 0, edges[s]),
+		}
+		last[s] = -1
+	}
+	for u := uint32(0); u < g.V; u++ {
+		dsts, ws := g.Neighbors(u)
+		for i, v := range dsts {
+			s := e.owner[v]
+			ds := &e.dense[s]
+			if last[s] != int64(u) {
+				last[s] = int64(u)
+				ds.srcs = append(ds.srcs, u)
+				ds.rowPtr = append(ds.rowPtr, ds.rowPtr[len(ds.rowPtr)-1])
+			}
+			ds.col = append(ds.col, v)
+			ds.weight = append(ds.weight, ws[i])
+			ds.rowPtr[len(ds.rowPtr)-1]++
+		}
+	}
+	e.srcsTotal = 0
+	for s := range e.dense {
+		e.srcsTotal += uint64(len(e.dense[s].srcs))
+	}
+}

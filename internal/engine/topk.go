@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VertexScore is one ranked vertex in a TopK result.
+type VertexScore struct {
+	Vertex uint32  `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+// TopK ranks a kernel's converged property array and returns the k most
+// interesting vertices with kernel-appropriate semantics:
+//
+//   - pr:   highest rank first (score = the float64 rank)
+//   - bfs:  closest reachable vertices first (score = hop count; unreached
+//     vertices are excluded)
+//   - sssp: closest reachable vertices first (score = distance)
+//   - sswp: widest path capacity first (score = capacity; the source's
+//     "infinite" capacity surfaces as 2^64; unreachable vertices are
+//     excluded)
+//   - cc:   largest components first (Vertex = the component's minimum
+//     label, score = component size)
+//
+// Ties break toward the lower vertex ID, so the ranking is deterministic.
+// Candidates stream through a size-k selection heap, so the cost is
+// O(V log k), not O(V log V) — this runs per request on the serving path.
+func TopK(kernel string, prop []uint64, k int) ([]VertexScore, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("engine: negative top-k %d", k)
+	}
+	inf := uint64(math.MaxUint64)
+	acc := topAcc{k: k}
+	switch kernel {
+	case "pr":
+		acc.descending = true
+		for v, p := range prop {
+			acc.add(VertexScore{Vertex: uint32(v), Score: math.Float64frombits(p)})
+		}
+	case "bfs", "sssp":
+		for v, p := range prop {
+			if p == inf {
+				continue // unreached
+			}
+			acc.add(VertexScore{Vertex: uint32(v), Score: float64(p)})
+		}
+	case "sswp":
+		acc.descending = true
+		for v, p := range prop {
+			if p == 0 {
+				continue // unreachable
+			}
+			acc.add(VertexScore{Vertex: uint32(v), Score: float64(p)})
+		}
+	case "cc":
+		acc.descending = true
+		sizes := make([]uint32, len(prop))
+		for v, label := range prop {
+			if label >= uint64(len(prop)) {
+				return nil, fmt.Errorf("engine: cc label %d of vertex %d out of range", label, v)
+			}
+			sizes[label]++
+		}
+		for label, n := range sizes {
+			if n > 0 {
+				acc.add(VertexScore{Vertex: uint32(label), Score: float64(n)})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown kernel %q for top-k", kernel)
+	}
+	return acc.result(), nil
+}
+
+// topAcc selects the k best candidates with a bounded binary heap whose
+// root is the worst entry kept so far.
+type topAcc struct {
+	k          int
+	descending bool
+	h          []VertexScore
+}
+
+// better reports whether a outranks b.
+func (t *topAcc) better(a, b VertexScore) bool {
+	if a.Score != b.Score {
+		if t.descending {
+			return a.Score > b.Score
+		}
+		return a.Score < b.Score
+	}
+	return a.Vertex < b.Vertex
+}
+
+func (t *topAcc) add(v VertexScore) {
+	if t.k == 0 {
+		return
+	}
+	if len(t.h) < t.k {
+		t.h = append(t.h, v)
+		if len(t.h) == t.k {
+			for i := t.k/2 - 1; i >= 0; i-- {
+				t.down(i)
+			}
+		}
+		return
+	}
+	if t.better(v, t.h[0]) {
+		t.h[0] = v
+		t.down(0)
+	}
+}
+
+// down restores the heap property below node i (worst kept entry on top).
+func (t *topAcc) down(i int) {
+	n := len(t.h)
+	for {
+		w := i
+		if l := 2*i + 1; l < n && t.better(t.h[w], t.h[l]) {
+			w = l
+		}
+		if r := 2*i + 2; r < n && t.better(t.h[w], t.h[r]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		t.h[i], t.h[w] = t.h[w], t.h[i]
+		i = w
+	}
+}
+
+// result returns the kept entries ranked best first.
+func (t *topAcc) result() []VertexScore {
+	sort.Slice(t.h, func(i, j int) bool { return t.better(t.h[i], t.h[j]) })
+	return t.h
+}

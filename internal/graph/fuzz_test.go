@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds builds the write→read round-trip seed corpus: every seed is a
+// real serialized graph, so the fuzzer starts from structurally valid input
+// and mutates from there.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	graphs := []*CSR{
+		FromEdges("", 0, nil),
+		FromEdges("one", 1, nil),
+		FromEdges("chain", 4, []Edge{{Src: 0, Dst: 1, Weight: 5}, {Src: 1, Dst: 2, Weight: 7}, {Src: 2, Dst: 3, Weight: 9}}),
+		FromEdges("multi", 3, []Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 0, Dst: 1, Weight: 2}, {Src: 2, Dst: 2, Weight: 3}}),
+		Uniform("uniform", 64, 3, 1),
+		Kronecker("kron", 5, 4, 2),
+		WattsStrogatz("ws", 32, 3, 0.3, 3),
+	}
+	var seeds [][]byte
+	for _, g := range graphs {
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			f.Fatalf("writing seed %q: %v", g.Name, err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	return seeds
+}
+
+// FuzzGraphRead fuzzes the binary-format reader. Invariants: Read never
+// panics, never allocates past the bytes actually present (the incremental
+// readers in io.go), rejects malformed input with an error, and any input
+// it does accept must survive a write→read round trip bit for bit.
+func FuzzGraphRead(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+		// Truncations and header corruptions seed the error paths.
+		f.Add(seed[:len(seed)/2])
+		if len(seed) > 20 {
+			corrupt := bytes.Clone(seed)
+			corrupt[15] ^= 0xff
+			f.Add(corrupt)
+		}
+	}
+	f.Add([]byte("PICGRAF1"))
+	f.Add([]byte("NOTAGRAF00000000"))
+	// A header claiming 2^32-1 vertices with no payload: must error out
+	// cheaply instead of attempting a 32GB RowPtr allocation.
+	huge := []byte("PICGRAF1")
+	huge = append(huge, 0, 0, 0, 0)             // empty name
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff) // V = MaxUint32
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input rejected: the invariant we want
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("Read accepted an invalid graph: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := g.Write(&buf); werr != nil {
+			t.Fatalf("rewriting accepted graph: %v", werr)
+		}
+		g2, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("re-reading rewritten graph: %v", rerr)
+		}
+		if !reflect.DeepEqual(g, g2) {
+			t.Fatalf("round trip changed the graph:\n got %+v\nwant %+v", g2, g)
+		}
+	})
+}
+
+// TestReadTruncatedAllocationBound is the deterministic companion to the
+// fuzz target: a header promising a huge graph with no payload must fail
+// fast (readChunk granularity) rather than allocate the promised size.
+func TestReadTruncatedAllocationBound(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Kronecker("k", 6, 4, 9).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes: want error, got nil", cut)
+		}
+	}
+	if _, err := Read(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full input: %v", err)
+	}
+}

@@ -49,7 +49,74 @@ func (g *CSR) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read deserializes a graph written by Write and validates it.
+// readChunk is the element granularity of the incremental array readers:
+// slices grow chunk by chunk as payload bytes actually arrive, so a
+// malformed header claiming billions of elements fails with a truncation
+// error after at most one chunk of over-allocation instead of attempting a
+// multi-gigabyte make up front.
+const readChunk = 1 << 16
+
+// readChunked reads n elements of elemSize bytes, handing each chunk of
+// raw bytes to emit as it arrives — the one place the grow-as-data-arrives
+// hardening lives, shared by all three payload arrays.
+func readChunked(br io.Reader, n uint64, elemSize int, emit func(chunk []byte)) error {
+	buf := make([]byte, uint64(elemSize)*min(n, readChunk))
+	for done := uint64(0); done < n; {
+		c := min(n-done, readChunk)
+		b := buf[:uint64(elemSize)*c]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return err
+		}
+		emit(b)
+		done += c
+	}
+	return nil
+}
+
+// readUint64s reads n little-endian uint64 values incrementally.
+func readUint64s(br io.Reader, n uint64) ([]uint64, error) {
+	out := make([]uint64, 0, min(n, readChunk))
+	err := readChunked(br, n, 8, func(b []byte) {
+		for ; len(b) > 0; b = b[8:] {
+			out = append(out, binary.LittleEndian.Uint64(b))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readUint32s reads n little-endian uint32 values incrementally.
+func readUint32s(br io.Reader, n uint64) ([]uint32, error) {
+	out := make([]uint32, 0, min(n, readChunk))
+	err := readChunked(br, n, 4, func(b []byte) {
+		for ; len(b) > 0; b = b[4:] {
+			out = append(out, binary.LittleEndian.Uint32(b))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readBytes reads n bytes incrementally.
+func readBytes(br io.Reader, n uint64) ([]uint8, error) {
+	out := make([]uint8, 0, min(n, readChunk))
+	err := readChunked(br, n, 1, func(b []byte) {
+		out = append(out, b...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Read deserializes a graph written by Write and validates it. Malformed
+// input — bad magic, truncated payloads, inconsistent counts — returns an
+// error; it never panics, and allocation stays proportional to the bytes
+// actually present in the input (FuzzGraphRead exercises both properties).
 func Read(r io.Reader) (*CSR, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic))
@@ -61,37 +128,34 @@ func Read(r io.Reader) (*CSR, error) {
 	}
 	var nameLen uint32
 	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading name length: %w", err)
 	}
 	if nameLen > 1<<16 {
 		return nil, fmt.Errorf("graph: unreasonable name length %d", nameLen)
 	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, err
+	name, err := readBytes(br, uint64(nameLen))
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading name: %w", err)
 	}
 	g := &CSR{Name: string(name)}
 	if err := binary.Read(br, binary.LittleEndian, &g.V); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading vertex count: %w", err)
 	}
 	var e uint64
 	if err := binary.Read(br, binary.LittleEndian, &e); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: reading edge count: %w", err)
 	}
 	if e > 1<<34 {
 		return nil, fmt.Errorf("graph: unreasonable edge count %d", e)
 	}
-	g.RowPtr = make([]uint64, g.V+1)
-	if err := binary.Read(br, binary.LittleEndian, &g.RowPtr); err != nil {
-		return nil, err
+	if g.RowPtr, err = readUint64s(br, uint64(g.V)+1); err != nil {
+		return nil, fmt.Errorf("graph: reading rowptr: %w", err)
 	}
-	g.Col = make([]uint32, e)
-	if err := binary.Read(br, binary.LittleEndian, &g.Col); err != nil {
-		return nil, err
+	if g.Col, err = readUint32s(br, e); err != nil {
+		return nil, fmt.Errorf("graph: reading columns: %w", err)
 	}
-	g.Weight = make([]uint8, e)
-	if _, err := io.ReadFull(br, g.Weight); err != nil {
-		return nil, err
+	if g.Weight, err = readBytes(br, e); err != nil {
+		return nil, fmt.Errorf("graph: reading weights: %w", err)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err

@@ -19,68 +19,75 @@ import (
 // silently aliasing distinct configurations (the failure mode of the old
 // hand-enumerated format string this replaces).
 func jobKey(j Job) string {
-	h := sha256.New()
-	enc := json.NewEncoder(h)
-	if err := enc.Encode(struct {
+	return contentKey(struct {
 		Dataset string
 		Config  core.Config
-	}{j.Dataset, j.Config}); err != nil {
-		// Config is a plain value struct; encoding cannot fail.
-		panic(fmt.Sprintf("runner: encoding job key: %v", err))
+	}{j.Dataset, j.Config})
+}
+
+// contentKey hashes any plain value struct into a hex content address.
+func contentKey(v any) string {
+	h := sha256.New()
+	if err := json.NewEncoder(h).Encode(v); err != nil {
+		// Plain value structs; encoding cannot fail.
+		panic(fmt.Sprintf("runner: encoding content key: %v", err))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // call tracks one in-flight execution so concurrent duplicates can wait on
-// it instead of re-simulating.
-type call struct {
+// it instead of re-executing.
+type call[V any] struct {
 	done chan struct{}
-	res  *core.Result
+	res  V
 	err  error
 }
 
-// resultCache is the locked content-addressed store plus single-flight
-// in-flight tracking and the hit/miss counters.
-type resultCache struct {
+// resultCache is a locked content-addressed store plus single-flight
+// in-flight tracking and hit/miss counters. The runner keeps one instance
+// per result type: simulations (*core.Result) and engine queries
+// (*algorithms.ReferenceResult) share the machinery but not the namespace.
+type resultCache[V any] struct {
 	mu       sync.Mutex
-	results  map[string]*core.Result
-	inflight map[string]*call
+	results  map[string]V
+	inflight map[string]*call[V]
 	hits     uint64
 	misses   uint64
 }
 
-func newResultCache() *resultCache {
-	return &resultCache{
-		results:  map[string]*core.Result{},
-		inflight: map[string]*call{},
+func newResultCache[V any]() *resultCache[V] {
+	return &resultCache[V]{
+		results:  map[string]V{},
+		inflight: map[string]*call[V]{},
 	}
 }
 
 // lookup resolves a key to either a cached result (res, nil, false), an
-// in-flight call to wait on (nil, c, false), or leadership of a fresh
-// execution (nil, c, true). Both cached results and waits count as hits —
-// neither costs a simulation; only leadership counts as a miss.
-func (c *resultCache) lookup(key string) (*core.Result, *call, bool) {
+// in-flight call to wait on (zero, c, false), or leadership of a fresh
+// execution (zero, c, true). Both cached results and waits count as hits —
+// neither costs an execution; only leadership counts as a miss.
+func (c *resultCache[V]) lookup(key string) (V, *call[V], bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if res, ok := c.results[key]; ok {
 		c.hits++
 		return res, nil, false
 	}
+	var zero V
 	if f, ok := c.inflight[key]; ok {
 		c.hits++
-		return nil, f, false
+		return zero, f, false
 	}
 	c.misses++
-	f := &call{done: make(chan struct{})}
+	f := &call[V]{done: make(chan struct{})}
 	c.inflight[key] = f
-	return nil, f, true
+	return zero, f, true
 }
 
 // complete publishes a leader's outcome: waiters wake with (res, err), and
 // a successful result is stored for future lookups. If the cache was reset
 // while the job ran, the stale entry is not re-inserted.
-func (c *resultCache) complete(key string, f *call, res *core.Result, err error) {
+func (c *resultCache[V]) complete(key string, f *call[V], res V, err error) {
 	f.res, f.err = res, err
 	close(f.done)
 	c.mu.Lock()
@@ -94,17 +101,17 @@ func (c *resultCache) complete(key string, f *call, res *core.Result, err error)
 	}
 }
 
-func (c *resultCache) stats() Stats {
+func (c *resultCache[V]) stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{Hits: c.hits, Misses: c.misses}
 }
 
-func (c *resultCache) reset() {
+func (c *resultCache[V]) reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.results = map[string]*core.Result{}
-	c.inflight = map[string]*call{}
+	c.results = map[string]V{}
+	c.inflight = map[string]*call[V]{}
 	c.hits, c.misses = 0, 0
 }
 

@@ -1,0 +1,197 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+
+	"piccolo/internal/algorithms"
+	"piccolo/internal/engine"
+	"piccolo/internal/graph"
+)
+
+// Query is one declarative functional-execution job: run a kernel to
+// convergence on a dataset proxy with the sharded parallel engine — no
+// timing model, just the converged vertex properties. Queries flow through
+// the same worker pool and the same content-addressed single-flight
+// machinery as simulation jobs, so concurrent identical queries execute
+// once (cmd/piccolo-serve's POST /query rides on this).
+type Query struct {
+	// Dataset names a Table II proxy (UU, TW, SW, FS, PP, WS26, ...).
+	Dataset string
+	// Kernel is pr, bfs, cc, sssp or sswp.
+	Kernel string
+	Scale  graph.Scale
+	// Src is the traversal source; negative or at/beyond the graph's
+	// vertex count selects the highest-out-degree vertex (canonicalized
+	// to -1 against the built graph, exactly as core.Run treats
+	// Config.Src).
+	Src int64
+	// MaxIters caps the iteration count; 0 selects engine.DefaultMaxIters.
+	MaxIters int
+}
+
+// canonical collapses spellings that execute identically onto one content
+// address. The engine's worker count is deliberately NOT part of the
+// identity: the engine is bit-deterministic at every worker count, so the
+// result is the same whatever parallelism executed it. Src values at or
+// beyond the graph's vertex count also alias -1, but collapsing them needs
+// the graph — RunQuery does it before keying.
+func (q Query) canonical() Query {
+	if q.Src < 0 {
+		q.Src = -1
+	}
+	if q.MaxIters <= 0 {
+		q.MaxIters = engine.DefaultMaxIters
+	}
+	return q
+}
+
+// CanonicalFor returns the fully canonical form of q for graph g — the
+// form RunQuery keys the cache with: defaults applied and any Src at or
+// beyond g.V collapsed to -1 (the highest-out-degree default, exactly as
+// core.Run treats Config.Src). Callers that surface Key() next to a
+// result, like piccolo-serve, canonicalize with this instead of
+// re-implementing the rule.
+func (q Query) CanonicalFor(g *graph.CSR) Query {
+	q = q.canonical()
+	if q.Src >= int64(g.V) {
+		q.Src = -1
+	}
+	return q
+}
+
+// Key returns the query's canonical content hash (without the graph-aware
+// Src collapsing of CanonicalFor). Queries and simulation jobs live in
+// separate cache namespaces, so their keys cannot collide.
+func (q Query) Key() string { return contentKey(q.canonical()) }
+
+// RunQuery executes one query through the query cache: a memoized result
+// returns immediately, a duplicate of an in-flight query waits for it, and
+// a fresh query runs on the parallel engine.
+func (r *Runner) RunQuery(q Query) (*algorithms.ReferenceResult, error) {
+	// Build (or fetch) the graph first: it resolves dataset errors before
+	// anything is cached, and CanonicalFor collapses every out-of-range
+	// Src onto the default so aliases share one cache entry.
+	g, err := r.graphs.get(q.Dataset, q.Scale)
+	if err != nil {
+		return nil, err
+	}
+	q = q.CanonicalFor(g)
+	key := q.Key()
+	res, c, leader := r.queries.lookup(key)
+	if c == nil {
+		return res, nil // cache hit
+	}
+	if !leader {
+		<-c.done // identical query already in flight
+		return c.res, c.err
+	}
+	res, err = r.execQuery(q, g)
+	r.queries.complete(key, c, res, err)
+	return res, err
+}
+
+// execQuery runs the engine on the memoized per-graph instance. The engine
+// lock is taken before any pool slots, so a query blocked behind another
+// run on the same graph parks no idle capacity; once runnable, the query
+// blocks for one worker slot and widens to as many further slots as are
+// free right now, so the pool bound holds whether the width is spent on
+// many single-threaded simulations or a few parallel queries — the width
+// never changes the result bits. Panics are converted to errors for the
+// same reason as in exec.
+func (r *Runner) execQuery(q Query, g *graph.CSR) (res *algorithms.ReferenceResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			// Drop the memoized engine: a panic mid-run can leave it with
+			// partially mutated state (even a half-built dense index, whose
+			// sync.Once would never retry), and Engine.Run's own buffer
+			// self-healing cannot cover structural damage.
+			r.engines.evict(q.Dataset, q.Scale)
+			res, err = nil, fmt.Errorf("runner: query %s on %s panicked: %v",
+				q.Kernel, q.Dataset, p)
+		}
+	}()
+	k, err := algorithms.New(q.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	src := graph.HighestDegreeVertex(g)
+	if q.Src >= 0 {
+		src = uint32(q.Src)
+	}
+	e := r.engines.get(q.Dataset, q.Scale, g, r.workers)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r.sem <- struct{}{}
+	slots := 1
+	for slots < r.workers {
+		select {
+		case r.sem <- struct{}{}:
+			slots++
+			continue
+		default:
+		}
+		break
+	}
+	defer func() {
+		for i := 0; i < slots; i++ {
+			<-r.sem
+		}
+	}()
+	e.eng.SetWorkers(slots)
+	return e.eng.Run(k, src, q.MaxIters), nil
+}
+
+// QueryStats returns a snapshot of the query cache's counters (simulation
+// jobs are counted separately by Stats).
+func (r *Runner) QueryStats() Stats { return r.queries.stats() }
+
+// engineCache memoizes one engine per (dataset, scale), so repeated
+// queries against the same graph amortize the O(V+E) sharding pass and the
+// dense sub-CSRs instead of repaying them per cache miss. Engines are not
+// safe for concurrent Run, so each entry carries its own mutex.
+type engineCache struct {
+	mu sync.Mutex
+	m  map[string]*engineEntry
+}
+
+type engineEntry struct {
+	once sync.Once
+	mu   sync.Mutex // serializes Run (and SetWorkers) on eng
+	eng  *engine.Engine
+}
+
+func newEngineCache() *engineCache {
+	return &engineCache{m: map[string]*engineEntry{}}
+}
+
+// get returns the memoized engine for (name, sc), building it for g on
+// first use (outside the cache-wide lock, like graphCache). The caller
+// must hold the entry's mutex around Run.
+func (c *engineCache) get(name string, sc graph.Scale, g *graph.CSR, workers int) *engineEntry {
+	key := fmt.Sprintf("%s@%d", name, sc)
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &engineEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.eng = engine.New(g, engine.Config{Workers: workers})
+	})
+	return e
+}
+
+// evict drops the entry for (name, sc) so the next query rebuilds it.
+func (c *engineCache) evict(name string, sc graph.Scale) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, fmt.Sprintf("%s@%d", name, sc))
+}
+
+func (c *engineCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[string]*engineEntry{}
+}

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 
+	"piccolo/internal/algorithms"
 	"piccolo/internal/core"
 	"piccolo/internal/graph"
 )
@@ -63,8 +64,10 @@ func (s Stats) HitRate() float64 {
 type Runner struct {
 	workers int
 	sem     chan struct{} // bounds concurrently executing simulations
-	results *resultCache
+	results *resultCache[*core.Result]
+	queries *resultCache[*algorithms.ReferenceResult]
 	graphs  *graphCache
+	engines *engineCache
 }
 
 // New returns a runner executing at most workers simulations at once.
@@ -76,8 +79,10 @@ func New(workers int) *Runner {
 	return &Runner{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
-		results: newResultCache(),
+		results: newResultCache[*core.Result](),
+		queries: newResultCache[*algorithms.ReferenceResult](),
 		graphs:  newGraphCache(),
+		engines: newEngineCache(),
 	}
 }
 
@@ -87,11 +92,13 @@ func (r *Runner) Workers() int { return r.workers }
 // Stats returns a snapshot of the cache counters.
 func (r *Runner) Stats() Stats { return r.results.stats() }
 
-// ResetCache drops every memoized graph and result and zeroes the
+// ResetCache drops every memoized graph, result and query and zeroes the
 // counters. In-flight jobs complete but their results are discarded.
 func (r *Runner) ResetCache() {
 	r.results.reset()
+	r.queries.reset()
 	r.graphs.reset()
+	r.engines.reset()
 }
 
 // Run executes one job through the cache: a memoized result returns

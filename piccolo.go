@@ -29,6 +29,7 @@ import (
 	"piccolo/internal/algorithms"
 	"piccolo/internal/core"
 	"piccolo/internal/dram"
+	"piccolo/internal/engine"
 	"piccolo/internal/graph"
 	"piccolo/internal/runner"
 )
@@ -164,4 +165,65 @@ func Reference(kernel string, g *Graph, src uint32, maxIters int) ([]uint64, int
 	}
 	ref := algorithms.RunReference(g, k, src, maxIters)
 	return ref.Prop, ref.Iterations, nil
+}
+
+// Engine is the sharded parallel execution engine (DESIGN.md §9): a
+// frontier-based executor whose results are bit-identical to Reference at
+// any worker count. Build one with NewEngine to amortize its sharding over
+// repeated runs on the same graph; an Engine is not safe for concurrent
+// Run calls.
+type Engine = engine.Engine
+
+// EngineConfig tunes worker and shard counts; the zero value selects
+// GOMAXPROCS workers. Results do not depend on either knob.
+type EngineConfig = engine.Config
+
+// KernelResult is a functional execution result: converged vertex
+// properties (8-byte words; PageRank stores float64 bits), the iteration
+// count and the processed-edge count.
+type KernelResult = algorithms.ReferenceResult
+
+// VertexScore is one ranked vertex in a TopK result.
+type VertexScore = engine.VertexScore
+
+// Query is a declarative functional-execution job served by Runner.RunQuery
+// through the runner's content-addressed query cache (and by piccolo-serve
+// as POST /query).
+type Query = runner.Query
+
+// Kernel is one vertex-centric algorithm (Process/Reduce/Apply of the
+// paper's Algorithm 1), accepted by Engine.Run.
+type Kernel = algorithms.Kernel
+
+// NewKernel resolves a kernel by name: pr, bfs, cc, sssp, sswp.
+func NewKernel(name string) (Kernel, error) { return algorithms.New(name) }
+
+// NewEngine builds a parallel engine for g.
+func NewEngine(g *Graph, cfg EngineConfig) *Engine { return engine.New(g, cfg) }
+
+// RunKernel executes a kernel on g with the sharded parallel engine and
+// returns a result bit-identical to Reference. A src that is negative or
+// at/beyond g.V selects the highest-out-degree vertex (as core.Run does);
+// maxIters <= 0 selects engine.DefaultMaxIters; workers <= 0 selects
+// GOMAXPROCS.
+func RunKernel(kernel string, g *Graph, src int64, maxIters, workers int) (*KernelResult, error) {
+	k, err := algorithms.New(kernel)
+	if err != nil {
+		return nil, err
+	}
+	s := graph.HighestDegreeVertex(g)
+	if src >= 0 && src < int64(g.V) {
+		s = uint32(src)
+	}
+	if maxIters <= 0 {
+		maxIters = engine.DefaultMaxIters
+	}
+	return engine.New(g, engine.Config{Workers: workers}).Run(k, s, maxIters), nil
+}
+
+// TopK ranks a kernel's converged properties with kernel-appropriate
+// semantics (highest rank for pr, closest for bfs/sssp, widest for sswp,
+// largest components for cc).
+func TopK(kernel string, prop []uint64, k int) ([]VertexScore, error) {
+	return engine.TopK(kernel, prop, k)
 }

@@ -95,3 +95,57 @@ func TestFacadeMemoryPresets(t *testing.T) {
 		t.Error("enumerations wrong")
 	}
 }
+
+func TestFacadeEngine(t *testing.T) {
+	g := GenerateKronecker("kron", 9, 8, 4)
+	refProp, refIters, err := Reference("bfs", g, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunKernel("bfs", g, 0, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != refIters {
+		t.Fatalf("engine iterations = %d, reference %d", res.Iterations, refIters)
+	}
+	for v := range refProp {
+		if res.Prop[v] != refProp[v] {
+			t.Fatalf("engine prop[%d] = %#x, reference %#x", v, res.Prop[v], refProp[v])
+		}
+	}
+	top, err := TopK("bfs", res.Prop, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 || top[0].Score != 0 {
+		t.Fatalf("top-k should start at the source (distance 0), got %+v", top)
+	}
+	if _, err := RunKernel("nope", g, 0, 0, 0); err == nil {
+		t.Error("unknown kernel: want error")
+	}
+
+	// Reusable engine + query path through the shared runner.
+	cc, err := NewKernel("cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g, EngineConfig{Workers: 2})
+	k2 := e.Run(cc, 0, 100)
+	if k2.Iterations == 0 {
+		t.Error("cc on a Kronecker graph should take at least one iteration")
+	}
+	r := NewRunner(2)
+	q := Query{Dataset: "SW", Kernel: "bfs", Scale: ScaleTiny, Src: -1}
+	res1, err := r.RunQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.RunQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != res2 {
+		t.Error("repeated query not served from cache")
+	}
+}
