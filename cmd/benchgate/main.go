@@ -1,0 +1,204 @@
+// Command benchgate is the CI benchmark-regression gate (DESIGN.md §10,
+// "CI quality gate"): it parses `go test -bench` output, compares each
+// benchmark's ns/op against a committed baseline with a ratio threshold,
+// and writes a machine-readable comparison artifact so the repo accretes a
+// bench trajectory across CI runs.
+//
+// It is deliberately self-contained (no benchstat dependency): the
+// statistics are simple — with -count > 1 the *minimum* ns/op per
+// benchmark is compared, the least-noise estimator for "has the code
+// gotten slower", and the per-benchmark -procs suffix is stripped so
+// baselines survive runner core-count changes. IMPORTANT: always run the
+// benchmarks with an explicit `-cpu N` (CI and baseline use -cpu 4) — Go
+// omits the -procs suffix when GOMAXPROCS is 1, so without a fixed -cpu a
+// sub-benchmark whose own name ends in -N (e.g. EngineBFS/parallel-4)
+// parses differently on 1-core and multi-core machines and the gate
+// reports spurious missing/new entries. Cross-machine absolute times
+// vary, so the default threshold is generous (catch order-of-magnitude
+// regressions, record everything else in the artifact); refresh the
+// baseline with -update on the reference machine.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -count=3 -cpu 4 ./... | tee bench.txt
+//	benchgate -input bench.txt -baseline BENCH_baseline.json -out compare.json [-enforce] [-threshold 2.0]
+//	benchgate -input bench.txt -baseline BENCH_baseline.json -update   # rewrite the baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed reference: benchmark name (without -procs
+// suffix) to ns/op.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note       string             `json:"note"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// Comparison is one benchmark's verdict in the artifact.
+type Comparison struct {
+	Name       string  `json:"name"`
+	BaseNsOp   float64 `json:"base_ns_op,omitempty"`
+	CurNsOp    float64 `json:"cur_ns_op"`
+	Ratio      float64 `json:"ratio,omitempty"` // cur/base; absent for new benchmarks
+	Status     string  `json:"status"`          // ok, regression, new, missing
+	Regression bool    `json:"regression"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkEnginePR/kron/w4-8   13   95379559 ns/op   123 MTEPS".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse collects the minimum ns/op per benchmark name from r.
+func parse(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	input := flag.String("input", "-", "bench output file (- for stdin)")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+	outPath := flag.String("out", "", "write the comparison artifact JSON here")
+	threshold := flag.Float64("threshold", 2.0, "fail when cur/base ns/op exceeds this ratio")
+	enforce := flag.Bool("enforce", false, "exit non-zero on regressions (otherwise report only)")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	flag.Parse()
+
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("benchgate: no benchmark lines in %s", *input))
+	}
+
+	if *update {
+		b := Baseline{
+			Note: "min ns/op per benchmark; regenerate: go test -run='^$' -bench=. -count=3 -cpu 4 " +
+				"./internal/engine ./internal/runner ./internal/stream | go run ./cmd/benchgate -baseline BENCH_baseline.json -update",
+			Benchmarks: current,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: baseline %s updated with %d benchmarks\n", *baselinePath, len(current))
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("benchgate: parsing %s: %w", *baselinePath, err))
+	}
+
+	var comps []Comparison
+	regressions, missing := 0, 0
+	for name, cur := range current {
+		c := Comparison{Name: name, CurNsOp: cur, Status: "new"}
+		if b, ok := base.Benchmarks[name]; ok {
+			c.BaseNsOp = b
+			c.Ratio = cur / b
+			c.Status = "ok"
+			if c.Ratio > *threshold {
+				c.Status = "regression"
+				c.Regression = true
+				regressions++
+			}
+		}
+		comps = append(comps, c)
+	}
+	for name, b := range base.Benchmarks {
+		if _, ok := current[name]; !ok {
+			comps = append(comps, Comparison{Name: name, BaseNsOp: b, Status: "missing"})
+			missing++
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Name < comps[j].Name })
+
+	for _, c := range comps {
+		switch c.Status {
+		case "new":
+			fmt.Printf("  new        %-40s %14.0f ns/op (not in baseline)\n", c.Name, c.CurNsOp)
+		case "missing":
+			fmt.Printf("  missing    %-40s baseline %14.0f ns/op, not run\n", c.Name, c.BaseNsOp)
+		default:
+			fmt.Printf("  %-10s %-40s %14.0f ns/op  (%.2fx of baseline)\n", c.Status, c.Name, c.CurNsOp, c.Ratio)
+		}
+	}
+	if *outPath != "" {
+		artifact := struct {
+			Threshold   float64      `json:"threshold"`
+			Enforced    bool         `json:"enforced"`
+			Regressions int          `json:"regressions"`
+			Missing     int          `json:"missing"`
+			Results     []Comparison `json:"results"`
+		}{*threshold, *enforce, regressions, missing, comps}
+		data, err := json.MarshalIndent(artifact, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if regressions > 0 || missing > 0 {
+		// Missing benchmarks erode the gate silently (a rename or a
+		// package whose benchmarks stopped running), so under -enforce
+		// they fail just like regressions — refresh the baseline with
+		// -update when the change is deliberate.
+		fmt.Printf("benchgate: %d regression(s) beyond %.2fx, %d missing from the run\n",
+			regressions, *threshold, missing)
+		if *enforce {
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: not enforcing (report only)")
+		return
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.2fx of baseline\n", len(current), *threshold)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

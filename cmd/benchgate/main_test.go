@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: piccolo/internal/engine
+cpu: some cpu
+BenchmarkEnginePR/kron/serial-8         	      13	  95379559 ns/op	       123 MTEPS
+BenchmarkEnginePR/kron/serial-8         	      14	  91000000 ns/op	       130 MTEPS
+BenchmarkEngineBFS/kron/w4-8            	     100	   1234567 ns/op
+BenchmarkQueryCached                    	  120000	     10088 ns/op
+PASS
+ok  	piccolo/internal/engine	12.3s
+`
+	got, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"EnginePR/kron/serial": 91000000, // min of the two counts
+		"EngineBFS/kron/w4":    1234567,
+		"QueryCached":          10088, // no -procs suffix
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	got, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("parse = %v, %v; want empty, nil", got, err)
+	}
+}

@@ -3,6 +3,10 @@
 // one job, POST /sweep accepts a batch, and both funnel into one shared
 // worker pool and content-addressed result cache, so concurrent clients
 // asking for overlapping configurations simulate each cell once.
+// POST /query serves functional kernel executions and POST /update streams
+// edge insertions into a dataset (DESIGN.md §10) — queries after an update
+// reflect the new graph, served by incremental repair where possible, and
+// carry the graph version they were computed on.
 //
 // Single-job requests are additionally micro-batched: a dispatcher
 // collects the /run jobs that arrive within -batch-window (or up to
@@ -32,6 +36,7 @@ import (
 	"piccolo/internal/engine"
 	"piccolo/internal/graph"
 	"piccolo/internal/runner"
+	"piccolo/internal/stream"
 )
 
 // jobRequest is the JSON wire form of one runner.Job. Zero values mean
@@ -193,7 +198,7 @@ func response(j runner.Job, r *core.Result) jobResponse {
 }
 
 // queryRequest is the JSON wire form of one runner.Query plus the response
-// shaping knob k (top-k size).
+// shaping knob k (top-k size) and an optional version pin.
 type queryRequest struct {
 	Dataset  string `json:"dataset"`
 	Kernel   string `json:"kernel"`
@@ -201,6 +206,11 @@ type queryRequest struct {
 	Src      *int64 `json:"src,omitempty"`
 	MaxIters int    `json:"max_iters,omitempty"`
 	TopK     int    `json:"k,omitempty"` // default 10, capped at 1000
+	// Version, when present, pins the query to that graph version: if the
+	// result would reflect any other version (an update landed, or the
+	// client is behind), the server answers 409 Conflict with the current
+	// version instead of silently serving different-state data.
+	Version *uint64 `json:"version,omitempty"`
 }
 
 // query validates the request and lowers it onto a runner.Query plus the
@@ -249,15 +259,38 @@ func (q queryRequest) query() (runner.Query, int, error) {
 }
 
 // queryResponse is the JSON wire form of one functional query result.
+// Version is the graph version (applied update batches) the result was
+// computed on; Mode records the serving path ("cached", "engine",
+// "incremental", "full").
 type queryResponse struct {
 	Key        string               `json:"key"`
 	Dataset    string               `json:"dataset"`
 	Kernel     string               `json:"kernel"`
+	Version    uint64               `json:"version"`
+	Mode       string               `json:"mode"`
 	Vertices   uint32               `json:"vertices"`
 	Edges      uint64               `json:"edges"`
 	Iterations int                  `json:"iterations"`
 	EdgeVisits uint64               `json:"edge_visits"`
 	Top        []engine.VertexScore `json:"top"`
+}
+
+// updateRequest is the JSON wire form of POST /update: a batch of edge
+// insertions for one dataset. Edges is decoded and range-validated by
+// stream.DecodeBatch (the fuzzed decoder).
+type updateRequest struct {
+	Dataset string          `json:"dataset"`
+	Scale   string          `json:"scale,omitempty"`
+	Edges   json.RawMessage `json:"edges"`
+}
+
+// updateResponse acknowledges an applied batch with the graph's new
+// version and edge count.
+type updateResponse struct {
+	Dataset    string `json:"dataset"`
+	Version    uint64 `json:"version"`
+	Applied    int    `json:"applied"`
+	TotalEdges uint64 `json:"total_edges"`
 }
 
 // server wires the HTTP handlers to one shared runner and one batcher.
@@ -296,6 +329,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -338,11 +372,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, response(job, res))
 }
 
-// handleQuery runs a kernel functionally on the parallel engine (no timing
-// model) and returns the top-k vertices plus execution stats. Results are
-// cached content-addressed like simulation jobs; the engine's worker count
-// is not part of the identity because results are bit-identical at every
-// width.
+// handleQuery runs a kernel functionally (no timing model) and returns the
+// top-k vertices plus execution stats. Results are cached
+// content-addressed like simulation jobs, with the graph's update version
+// folded into the key (DESIGN.md §10) so an entry can never outlive the
+// graph state it was computed on; the engine's worker count is not part of
+// the identity because results are bit-identical at every width.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
@@ -354,15 +389,29 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	g, err := s.runner.Graph(q.Dataset, q.Scale)
+	if req.Version != nil {
+		// Reject an already-stale pin before paying for an execution; the
+		// post-execution check below still catches an update racing in.
+		if cur := s.runner.GraphVersion(q.Dataset, q.Scale); cur != *req.Version {
+			httpError(w, http.StatusConflict, fmt.Errorf(
+				"graph %s is at version %d, not the requested %d", q.Dataset, cur, *req.Version))
+			return
+		}
+	}
+	res, info, err := s.runner.RunQueryInfo(q)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	// Canonicalize exactly as RunQuery keys the cache, so the response's
-	// `key` field names the entry the result is actually stored under.
-	q = q.CanonicalFor(g)
-	res, err := s.runner.RunQuery(q)
+	if req.Version != nil && *req.Version != info.Version {
+		httpError(w, http.StatusConflict, fmt.Errorf(
+			"graph %s is at version %d, not the requested %d", q.Dataset, info.Version, *req.Version))
+		return
+	}
+	// The base graph gives V (fixed across updates); Edges comes from the
+	// execution snapshot in info, so the response's shape is consistent
+	// with its version even when updates race.
+	g, err := s.runner.Graph(q.Dataset, q.Scale)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -373,14 +422,70 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, queryResponse{
-		Key:        q.Key(),
+		Key:        info.Key,
 		Dataset:    q.Dataset,
 		Kernel:     q.Kernel,
+		Version:    info.Version,
+		Mode:       info.Mode,
 		Vertices:   g.V,
-		Edges:      g.E(),
+		Edges:      info.Edges,
 		Iterations: res.Iterations,
 		EdgeVisits: res.EdgeVisits,
 		Top:        top,
+	})
+}
+
+// handleUpdate applies a batch of edge insertions to a dataset's streaming
+// overlay (DESIGN.md §10). The first update for a dataset promotes it from
+// the static engine to a DynamicEngine; the response carries the new graph
+// version, which subsequent /query responses echo (and /query requests may
+// pin). Malformed bodies, unknown datasets, out-of-range vertices and bad
+// weights are all 400s and change nothing.
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Dataset == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing dataset"))
+		return
+	}
+	if _, err := graph.ByName(req.Dataset); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	sc, err := graph.ParseScale(req.Scale)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing edges"))
+		return
+	}
+	batch, err := stream.DecodeBatch(req.Edges, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ver, err := s.runner.ApplyUpdates(req.Dataset, sc, batch)
+	if err != nil {
+		// The decoder cannot see vertex bounds (only the overlay knows V),
+		// so bound violations surface here — still the client's fault.
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	total, err := s.runner.CurrentEdges(req.Dataset, sc)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, updateResponse{
+		Dataset:    req.Dataset,
+		Version:    ver,
+		Applied:    len(batch),
+		TotalEdges: total,
 	})
 }
 
@@ -427,15 +532,23 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.runner.Stats()
 	qst := s.runner.QueryStats()
+	sst := s.runner.StreamStats()
 	writeJSON(w, map[string]any{
-		"workers":        s.runner.Workers(),
-		"cache_hits":     st.Hits,
-		"cache_misses":   st.Misses,
-		"cache_hit_rate": st.HitRate(),
-		"query_hits":     qst.Hits,
-		"query_misses":   qst.Misses,
-		"query_hit_rate": qst.HitRate(),
-		"batches":        s.batch.batches(),
+		"workers":             s.runner.Workers(),
+		"cache_hits":          st.Hits,
+		"cache_misses":        st.Misses,
+		"cache_hit_rate":      st.HitRate(),
+		"query_hits":          qst.Hits,
+		"query_misses":        qst.Misses,
+		"query_hit_rate":      qst.HitRate(),
+		"query_invalidated":   qst.Invalidated,
+		"batches":             s.batch.batches(),
+		"updates_applied":     sst.Version,
+		"edges_applied":       sst.EdgesApplied,
+		"incremental_repairs": sst.IncrementalRepairs,
+		"full_recomputes":     sst.FullRecomputes,
+		"stream_cached":       sst.CachedServes,
+		"compactions":         sst.Compactions,
 	})
 }
 

@@ -69,8 +69,11 @@ type pair struct {
 
 // Engine executes kernels on one graph with a fixed sharding.
 type Engine struct {
-	g       *graph.CSR
-	workers int
+	g *graph.CSR
+	// workers is atomic so SetWorkers is safe concurrently with a running
+	// execution (runner worker-slot changes race cached engines
+	// otherwise); each parallel phase snapshots it once.
+	workers atomic.Int32
 	shards  int
 
 	// bounds[s]..bounds[s+1] is the destination range owned by shard s;
@@ -117,24 +120,27 @@ func New(g *graph.CSR, cfg Config) *Engine {
 	if p < 1 {
 		p = 1
 	}
-	e := &Engine{g: g, workers: w, shards: p}
+	e := &Engine{g: g, shards: p}
+	e.workers.Store(int32(w))
 	e.partition()
 	return e
 }
 
 // Workers returns the configured worker count.
-func (e *Engine) Workers() int { return e.workers }
+func (e *Engine) Workers() int { return int(e.workers.Load()) }
 
-// SetWorkers adjusts the phase-parallelism width for subsequent Run calls
-// (w <= 0 selects GOMAXPROCS). The sharding is unchanged and results are
-// bit-identical at every width, so a cached Engine can be re-run at
-// whatever parallelism is available right now. Like Run, not safe to call
-// concurrently with a running execution.
+// SetWorkers adjusts the phase-parallelism width for subsequent parallel
+// phases (w <= 0 selects GOMAXPROCS). The sharding is unchanged and
+// results are bit-identical at every width, so a cached Engine can be
+// re-run at whatever parallelism is available right now. The store is
+// atomic, so SetWorkers is safe even while another goroutine is inside
+// Run — each phase snapshots the width once, and no width affects the
+// result bits (engine_test.go's race test runs exactly that schedule).
 func (e *Engine) SetWorkers(w int) {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	e.workers = w
+	e.workers.Store(int32(w))
 }
 
 // Shards returns the number of destination partitions.
@@ -385,7 +391,7 @@ func (e *Engine) scatterContributions(k algorithms.Kernel, fp *fastOps, prop []u
 	g := e.g
 	fastScatter := fp != nil && fp.scatter != nil
 	fastGather := fp != nil && fp.gather != nil
-	chunks := 4 * e.workers
+	chunks := 4 * e.Workers()
 	if chunks > len(frontier) {
 		chunks = len(frontier)
 	}
@@ -454,7 +460,7 @@ func (e *Engine) parallelDo(tasks int, fn func(int)) {
 	if tasks <= 0 {
 		return
 	}
-	w := e.workers
+	w := e.Workers()
 	if w > tasks {
 		w = tasks
 	}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"piccolo/internal/algorithms"
+	"piccolo/internal/graph"
+)
+
+// TestSetWorkersConcurrentWithRun drives an Engine through repeated runs
+// while another goroutine churns the worker count — the schedule the
+// runner produces when its free-slot width changes between (and now,
+// legally, during) queries on a memoized engine. Under -race this pins
+// the atomicity of SetWorkers; functionally it pins that no width change,
+// even mid-run, can alter the result bits.
+func TestSetWorkersConcurrentWithRun(t *testing.T) {
+	g := graph.Kronecker("kron", 9, 8, 3)
+	k, err := algorithms.New("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := graph.HighestDegreeVertex(g)
+	ref := algorithms.RunReference(g, k, src, DefaultMaxIters)
+
+	e := New(g, Config{Workers: 2})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for w := 1; !stop.Load(); w = w%8 + 1 {
+			e.SetWorkers(w)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		res := e.Run(k, src, DefaultMaxIters)
+		if res.Iterations != ref.Iterations || res.EdgeVisits != ref.EdgeVisits {
+			t.Fatalf("run %d: iterations/visits = %d/%d, reference %d/%d",
+				i, res.Iterations, res.EdgeVisits, ref.Iterations, ref.EdgeVisits)
+		}
+		for v := range ref.Prop {
+			if res.Prop[v] != ref.Prop[v] {
+				t.Fatalf("run %d: prop[%d] diverged under worker churn", i, v)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -48,11 +48,12 @@ type call[V any] struct {
 // per result type: simulations (*core.Result) and engine queries
 // (*algorithms.ReferenceResult) share the machinery but not the namespace.
 type resultCache[V any] struct {
-	mu       sync.Mutex
-	results  map[string]V
-	inflight map[string]*call[V]
-	hits     uint64
-	misses   uint64
+	mu          sync.Mutex
+	results     map[string]V
+	inflight    map[string]*call[V]
+	hits        uint64
+	misses      uint64
+	invalidated uint64
 }
 
 func newResultCache[V any]() *resultCache[V] {
@@ -85,9 +86,12 @@ func (c *resultCache[V]) lookup(key string) (V, *call[V], bool) {
 }
 
 // complete publishes a leader's outcome: waiters wake with (res, err), and
-// a successful result is stored for future lookups. If the cache was reset
-// while the job ran, the stale entry is not re-inserted.
-func (c *resultCache[V]) complete(key string, f *call[V], res V, err error) {
+// a successful result is stored for future lookups when store is true
+// (RunQuery passes false when the execution landed on a newer graph
+// version than the one the key encodes, so a result can never be filed
+// under a version it was not computed on). If the cache was reset while
+// the job ran, the stale entry is not re-inserted.
+func (c *resultCache[V]) complete(key string, f *call[V], res V, err error, store bool) {
 	f.res, f.err = res, err
 	close(f.done)
 	c.mu.Lock()
@@ -96,15 +100,29 @@ func (c *resultCache[V]) complete(key string, f *call[V], res V, err error) {
 		return // reset raced the execution; discard
 	}
 	delete(c.inflight, key)
-	if err == nil {
+	if err == nil && store {
 		c.results[key] = res
+	}
+}
+
+// removeKeys drops the given stored results (in-flight calls are left to
+// complete; their keys encode a stale version, so nothing ever looks them
+// up again) and counts them as invalidated.
+func (c *resultCache[V]) removeKeys(keys []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, k := range keys {
+		if _, ok := c.results[k]; ok {
+			delete(c.results, k)
+			c.invalidated++
+		}
 	}
 }
 
 func (c *resultCache[V]) stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses}
+	return Stats{Hits: c.hits, Misses: c.misses, Invalidated: c.invalidated}
 }
 
 func (c *resultCache[V]) reset() {
@@ -112,7 +130,7 @@ func (c *resultCache[V]) reset() {
 	defer c.mu.Unlock()
 	c.results = map[string]V{}
 	c.inflight = map[string]*call[V]{}
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.invalidated = 0, 0, 0
 }
 
 // graphCache memoizes dataset-proxy construction per (name, scale) with

@@ -7,6 +7,7 @@ import (
 	"piccolo/internal/algorithms"
 	"piccolo/internal/engine"
 	"piccolo/internal/graph"
+	"piccolo/internal/stream"
 )
 
 // Query is one declarative functional-execution job: run a kernel to
@@ -28,6 +29,13 @@ type Query struct {
 	Src int64
 	// MaxIters caps the iteration count; 0 selects engine.DefaultMaxIters.
 	MaxIters int
+	// Version is the graph version the query addresses — the number of
+	// update batches applied to (Dataset, Scale) via Runner.ApplyUpdates
+	// (DESIGN.md §10). RunQuery always overwrites it with the authoritative
+	// current version before keying the cache, so callers need not (and
+	// cannot usefully) set it; it is exported only so the content hash
+	// covers it.
+	Version uint64
 }
 
 // canonical collapses spellings that execute identically onto one content
@@ -65,30 +73,108 @@ func (q Query) CanonicalFor(g *graph.CSR) Query {
 // separate cache namespaces, so their keys cannot collide.
 func (q Query) Key() string { return contentKey(q.canonical()) }
 
+// QueryInfo describes how RunQueryInfo served a query.
+type QueryInfo struct {
+	// Key is the versioned content address the result is cached under.
+	Key string
+	// Version is the graph version the result was computed on.
+	Version uint64
+	// Edges is the graph's edge count at that version — snapshotted with
+	// the execution, so it stays consistent with Version and the result
+	// even when updates race the query.
+	Edges uint64
+	// Mode records the serving path: "cached" (runner query cache or the
+	// dynamic engine's fixed-point memo), "engine" (static parallel
+	// engine), "incremental" (monotone repair) or "full" (full run on the
+	// materialized updated graph).
+	Mode string
+}
+
+// queryEntry is what the query cache stores: the result plus the graph
+// version and edge count it was computed on, so cache hits and
+// single-flight waiters report the execution's true state even when it
+// differs from the version the caller keyed on (a query racing an
+// update).
+type queryEntry struct {
+	res     *algorithms.ReferenceResult
+	version uint64
+	edges   uint64
+}
+
 // RunQuery executes one query through the query cache: a memoized result
 // returns immediately, a duplicate of an in-flight query waits for it, and
-// a fresh query runs on the parallel engine.
+// a fresh query runs on the parallel engine — the static per-graph engine
+// for a never-updated dataset, the streaming DynamicEngine (incremental
+// repair with full-run fallback) once updates have been applied.
 func (r *Runner) RunQuery(q Query) (*algorithms.ReferenceResult, error) {
+	res, _, err := r.RunQueryInfo(q)
+	return res, err
+}
+
+// RunQueryInfo is RunQuery plus serving metadata: the versioned cache key,
+// the graph version the result reflects, and which execution path served
+// it.
+func (r *Runner) RunQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, error) {
 	// Build (or fetch) the graph first: it resolves dataset errors before
 	// anything is cached, and CanonicalFor collapses every out-of-range
 	// Src onto the default so aliases share one cache entry.
 	g, err := r.graphs.get(q.Dataset, q.Scale)
 	if err != nil {
-		return nil, err
+		return nil, QueryInfo{}, err
 	}
 	q = q.CanonicalFor(g)
+	d := r.streams.peek(q.Dataset, q.Scale)
+	q.Version = 0
+	if d != nil {
+		q.Version = d.Version()
+	}
 	key := q.Key()
-	res, c, leader := r.queries.lookup(key)
+	info := QueryInfo{Key: key, Version: q.Version, Mode: "cached"}
+	entry, c, leader := r.queries.lookup(key)
 	if c == nil {
-		return res, nil // cache hit
+		info.Version, info.Edges = entry.version, entry.edges
+		return entry.res, info, nil // cache hit
 	}
 	if !leader {
 		<-c.done // identical query already in flight
-		return c.res, c.err
+		if c.err == nil {
+			// The leader's entry carries the state it actually executed
+			// at — which may be newer than the keyed version if an update
+			// raced in; report that, not the snapshot.
+			info.Version, info.Edges = c.res.version, c.res.edges
+		}
+		return c.res.res, info, c.err
 	}
-	res, err = r.execQuery(q, g)
-	r.queries.complete(key, c, res, err)
-	return res, err
+	var entryOut queryEntry
+	if d == nil {
+		info.Mode = "engine"
+		info.Edges = g.E()
+		res, err := r.execQuery(q, g)
+		entryOut = queryEntry{res: res, version: 0, edges: g.E()}
+		r.queries.complete(key, c, entryOut, err, err == nil)
+		if err == nil {
+			r.queryKeys.add(streamKey(q.Dataset, q.Scale), key)
+		}
+		return res, info, err
+	}
+	res, sinfo, err := r.execDynamicQuery(q, d)
+	entryOut = queryEntry{res: res, version: sinfo.Version, edges: sinfo.Edges}
+	// An update may have landed between the version snapshot and the
+	// execution; the dynamic engine reports the version it actually ran
+	// at. Serving the newer result is fine (the query raced the update),
+	// but it must not be stored under the older version's key — waiters
+	// still learn the true version from the entry.
+	store := err == nil && sinfo.Version == q.Version
+	r.queries.complete(key, c, entryOut, err, store)
+	if store {
+		r.queryKeys.add(streamKey(q.Dataset, q.Scale), key)
+	}
+	if err == nil {
+		info.Version = sinfo.Version
+		info.Edges = sinfo.Edges
+		info.Mode = sinfo.Mode
+	}
+	return res, info, err
 }
 
 // execQuery runs the engine on the memoized per-graph instance. The engine
@@ -140,6 +226,39 @@ func (r *Runner) execQuery(q Query, g *graph.CSR) (res *algorithms.ReferenceResu
 	}()
 	e.eng.SetWorkers(slots)
 	return e.eng.Run(k, src, q.MaxIters), nil
+}
+
+// execDynamicQuery serves a query on an updated graph through its
+// DynamicEngine, under the same worker-pool discipline as execQuery: one
+// slot is mandatory, further free slots widen the fallback engine's phase
+// parallelism (incremental repairs are single-threaded and cheap — the
+// width only matters when the repair falls back to a full run). Width
+// never changes the result bits.
+func (r *Runner) execDynamicQuery(q Query, d *stream.DynamicEngine) (res *algorithms.ReferenceResult, info stream.QueryInfo, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("runner: query %s on %s panicked: %v",
+				q.Kernel, q.Dataset, p)
+		}
+	}()
+	r.sem <- struct{}{}
+	slots := 1
+	for slots < r.workers {
+		select {
+		case r.sem <- struct{}{}:
+			slots++
+			continue
+		default:
+		}
+		break
+	}
+	defer func() {
+		for i := 0; i < slots; i++ {
+			<-r.sem
+		}
+	}()
+	d.SetWorkers(slots)
+	return d.Query(q.Kernel, q.Src, q.MaxIters)
 }
 
 // QueryStats returns a snapshot of the query cache's counters (simulation

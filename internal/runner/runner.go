@@ -20,7 +20,6 @@ import (
 	"runtime"
 	"sync"
 
-	"piccolo/internal/algorithms"
 	"piccolo/internal/core"
 	"piccolo/internal/graph"
 )
@@ -43,10 +42,13 @@ func (j Job) Key() string { return jobKey(j) }
 
 // Stats reports the cache effectiveness counters. Hits counts submissions
 // served without executing a simulation (cached results and waits on an
-// identical in-flight job); Misses counts simulations actually executed.
+// identical in-flight job); Misses counts simulations actually executed;
+// Invalidated counts stored entries dropped by targeted invalidation
+// (ApplyUpdates evicting the updated graph's query results).
 type Stats struct {
-	Hits   uint64
-	Misses uint64
+	Hits        uint64
+	Misses      uint64
+	Invalidated uint64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 for an untouched runner.
@@ -65,9 +67,13 @@ type Runner struct {
 	workers int
 	sem     chan struct{} // bounds concurrently executing simulations
 	results *resultCache[*core.Result]
-	queries *resultCache[*algorithms.ReferenceResult]
+	queries *resultCache[queryEntry]
 	graphs  *graphCache
 	engines *engineCache
+	streams *streamCache
+	// queryKeys maps each graph to the query-cache keys stored for it, so
+	// ApplyUpdates can evict exactly the updated graph's entries.
+	queryKeys queryKeyIndex
 }
 
 // New returns a runner executing at most workers simulations at once.
@@ -80,9 +86,10 @@ func New(workers int) *Runner {
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		results: newResultCache[*core.Result](),
-		queries: newResultCache[*algorithms.ReferenceResult](),
+		queries: newResultCache[queryEntry](),
 		graphs:  newGraphCache(),
 		engines: newEngineCache(),
+		streams: newStreamCache(),
 	}
 }
 
@@ -94,11 +101,15 @@ func (r *Runner) Stats() Stats { return r.results.stats() }
 
 // ResetCache drops every memoized graph, result and query and zeroes the
 // counters. In-flight jobs complete but their results are discarded.
+// Streaming overlays are NOT reset: applied edge updates are graph state,
+// not cached derived data — dropping them would silently rewind every
+// updated graph to its base edge set.
 func (r *Runner) ResetCache() {
 	r.results.reset()
 	r.queries.reset()
 	r.graphs.reset()
 	r.engines.reset()
+	r.queryKeys.reset() // the entries it indexes are gone
 }
 
 // Run executes one job through the cache: a memoized result returns
@@ -117,7 +128,7 @@ func (r *Runner) Run(job Job) (*core.Result, error) {
 	r.sem <- struct{}{}
 	res, err := r.exec(job)
 	<-r.sem
-	r.results.complete(job.Key(), c, res, err)
+	r.results.complete(job.Key(), c, res, err, true)
 	return res, err
 }
 

@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"piccolo/internal/algorithms"
+	"piccolo/internal/engine"
+	"piccolo/internal/graph"
+	"piccolo/internal/stream"
+)
+
+// TestApplyUpdatesDifferential drives a dataset through the runner's
+// streaming path and checks every post-update query is bit-identical to a
+// from-scratch reference run on the materialized graph, at several worker
+// counts.
+func TestApplyUpdatesDifferential(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		r := New(workers)
+		base, err := r.Graph("UU", graph.ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(workers)))
+		edges := base.Edges()
+		for round := 0; round < 3; round++ {
+			batch := make([]stream.EdgeUpdate, 5)
+			for i := range batch {
+				batch[i] = stream.EdgeUpdate{
+					Src:    uint32(rng.Intn(int(base.V))),
+					Dst:    uint32(rng.Intn(int(base.V))),
+					Weight: uint8(1 + rng.Intn(255)),
+				}
+				edges = append(edges, graph.Edge{Src: batch[i].Src, Dst: batch[i].Dst, Weight: batch[i].Weight})
+			}
+			ver, err := r.ApplyUpdates("UU", graph.ScaleTiny, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ver != uint64(round+1) {
+				t.Fatalf("version = %d, want %d", ver, round+1)
+			}
+			refG := graph.FromEdges(base.Name, base.V, slices.Clone(edges))
+			for _, kernel := range []string{"pr", "bfs", "cc", "sssp", "sswp"} {
+				res, info, err := r.RunQueryInfo(Query{Dataset: "UU", Kernel: kernel, Scale: graph.ScaleTiny, Src: -1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.Version != ver {
+					t.Fatalf("%s: served version %d, want %d", kernel, info.Version, ver)
+				}
+				k, _ := algorithms.New(kernel)
+				src := uint32(0)
+				if kernel != "pr" && kernel != "cc" {
+					src = graph.HighestDegreeVertex(refG)
+				}
+				ref := algorithms.RunReference(refG, k, src, engine.DefaultMaxIters)
+				for v := range ref.Prop {
+					if res.Prop[v] != ref.Prop[v] {
+						t.Fatalf("w%d round %d %s (%s): prop[%d] = %#x, reference %#x",
+							workers, round, kernel, info.Mode, v, res.Prop[v], ref.Prop[v])
+					}
+				}
+			}
+		}
+		if st := r.StreamStats(); st.EdgesApplied != 15 || st.Version != 3 {
+			t.Errorf("stream stats = %+v, want 15 edges over 3 batches", st)
+		}
+	}
+}
+
+// TestUpdateInvalidatesQueryCache pins the versioned-key + targeted
+// invalidation contract: an update makes the old entry unreachable (new
+// version ⇒ new key ⇒ miss), evicts it from the store, and leaves other
+// graphs' entries alone.
+func TestUpdateInvalidatesQueryCache(t *testing.T) {
+	r := New(2)
+	q := Query{Dataset: "UU", Kernel: "bfs", Scale: graph.ScaleTiny, Src: -1}
+	other := Query{Dataset: "SW", Kernel: "bfs", Scale: graph.ScaleTiny, Src: -1}
+	if _, _, err := r.RunQueryInfo(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.RunQueryInfo(other); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := r.RunQueryInfo(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != "cached" || info.Version != 0 {
+		t.Fatalf("pre-update repeat: info = %+v, want cached at version 0", info)
+	}
+
+	if _, err := r.ApplyUpdates("UU", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 0, Dst: 1, Weight: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.QueryStats(); st.Invalidated != 1 {
+		t.Fatalf("invalidated = %d, want exactly the updated graph's entry", st.Invalidated)
+	}
+	before := r.QueryStats()
+	_, info, err = r.RunQueryInfo(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Mode == "cached" {
+		t.Fatalf("post-update query: info = %+v, want a fresh execution at version 1", info)
+	}
+	if after := r.QueryStats(); after.Misses != before.Misses+1 {
+		t.Fatalf("post-update query was not a cache miss: %+v -> %+v", before, after)
+	}
+	// The other graph's entry survived the targeted invalidation.
+	_, oinfo, err := r.RunQueryInfo(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oinfo.Mode != "cached" {
+		t.Fatalf("other graph's entry evicted: %+v", oinfo)
+	}
+	// Keys at distinct versions are distinct.
+	v0 := q
+	v1 := q
+	v1.Version = 1
+	if v0.Key() == v1.Key() {
+		t.Fatal("version not part of the query content address")
+	}
+}
+
+// TestCurrentGraph: before updates it is the base proxy; after, the
+// materialized overlay with the inserted edges.
+func TestCurrentGraph(t *testing.T) {
+	r := New(1)
+	base, err := r.CurrentGraph("PP", graph.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.GraphVersion("PP", graph.ScaleTiny); v != 0 {
+		t.Fatalf("fresh graph at version %d", v)
+	}
+	if _, err := r.ApplyUpdates("PP", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 1, Dst: 2, Weight: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := r.CurrentGraph("PP", graph.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.E() != base.E()+1 {
+		t.Fatalf("current E = %d, want base %d + 1", cur.E(), base.E())
+	}
+	if v := r.GraphVersion("PP", graph.ScaleTiny); v != 1 {
+		t.Fatalf("version = %d, want 1", v)
+	}
+}
+
+// TestApplyUpdatesValidation: bad batches surface errors and change
+// nothing.
+func TestApplyUpdatesValidation(t *testing.T) {
+	r := New(1)
+	if _, err := r.ApplyUpdates("NOPE", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 0, Dst: 1, Weight: 1}}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := r.ApplyUpdates("UU", graph.ScaleTiny, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := r.ApplyUpdates("UU", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 1 << 30, Dst: 0, Weight: 1}}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if v := r.GraphVersion("UU", graph.ScaleTiny); v != 0 {
+		t.Fatalf("rejected batches moved the version to %d", v)
+	}
+}

@@ -1,0 +1,102 @@
+package stream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"piccolo/internal/algorithms"
+	"piccolo/internal/engine"
+	"piccolo/internal/graph"
+)
+
+// streamBenchGraph is shared across the package's benchmarks: a power-law
+// Kronecker graph big enough that incremental repair's advantage over full
+// recompute is visible (2^16 vertices, ~1M edges), built once per binary.
+var streamBenchGraph = sync.OnceValue(func() *graph.CSR {
+	return graph.Kronecker("KN16", 16, 16, 42)
+})
+
+// benchBatches pre-draws deterministic update batches so the timed loop
+// does no RNG work.
+func benchBatches(v uint32, n, size int) [][]EdgeUpdate {
+	rng := rand.New(rand.NewSource(7))
+	out := make([][]EdgeUpdate, n)
+	for i := range out {
+		out[i] = randomBatch(rng, v, size)
+	}
+	return out
+}
+
+// BenchmarkApplyUpdates measures pure update ingestion (64-edge batches,
+// no queries, compaction at the default threshold).
+func BenchmarkApplyUpdates(b *testing.B) {
+	g := streamBenchGraph()
+	d := New(g, Config{Workers: 1})
+	batches := benchBatches(g.V, 256, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ApplyUpdates(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalBFS measures one update batch plus the incremental
+// repair of a converged BFS fixed point — the streaming steady state.
+func BenchmarkIncrementalBFS(b *testing.B) {
+	g := streamBenchGraph()
+	d := New(g, Config{Workers: 1})
+	if _, _, err := d.Query("bfs", -1, 0); err != nil { // converge once
+		b.Fatal(err)
+	}
+	batches := benchBatches(g.V, 256, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ApplyUpdates(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := d.Query("bfs", -1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRecomputeBFS is the from-scratch baseline the incremental
+// path is compared against: a full parallel-engine run per batch on the
+// same graph (engine prebuilt — the cheapest possible full recompute, so
+// the reported incremental speedup is conservative).
+func BenchmarkFullRecomputeBFS(b *testing.B) {
+	g := streamBenchGraph()
+	e := engine.New(g, engine.Config{Workers: 1})
+	k, err := algorithms.New("bfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := graph.HighestDegreeVertex(g)
+	e.Run(k, src, engine.DefaultMaxIters) // warm buffers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(k, src, engine.DefaultMaxIters)
+	}
+}
+
+// BenchmarkDeltaPageRank measures one update batch plus the residual
+// pushes to re-tighten the delta-PR estimate.
+func BenchmarkDeltaPageRank(b *testing.B) {
+	g := streamBenchGraph()
+	d := New(g, Config{Workers: 1})
+	if _, _, err := d.ApproxPageRank(0); err != nil { // initialize state
+		b.Fatal(err)
+	}
+	batches := benchBatches(g.V, 256, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ApplyUpdates(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := d.ApproxPageRank(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// Delta-PageRank: an incrementally maintained estimate of the PageRank
+// linear system p = (1-d)·1 + d·AᵀD⁻¹p (the paper's sum-to-N formulation,
+// damping d = 0.85), kept as a (estimate p, residual r) pair with the
+// invariant that p plus the fully-propagated residual equals the exact
+// solution. Edge insertions adjust the residuals of the affected
+// destinations in O(deg(src)) per touched source; a query pushes residuals
+// until every |r[v]| <= eps, which bounds the L1 error of the estimate by
+// Σ|r| / (1-d).
+//
+// This is the classic Gauss–Seidel push scheme (Berkhin's "bookmark
+// coloring", the delta-PR of GraphBolt/KickStarter-style systems): exact
+// with respect to the linear system, approximate with respect to the
+// reference executor's truncated power iteration — which is why the exact
+// Query path never uses it (DESIGN.md §10).
+
+const prDamping = 0.85
+
+// DefaultPREps is the default residual threshold of ApproxPageRank.
+const DefaultPREps = 1e-9
+
+// prState carries the persistent delta-PR estimate.
+type prState struct {
+	p, r []float64
+	// queue/inQueue form the push worklist; vertices with |r| above the
+	// active eps are queued.
+	queue   []uint32
+	inQueue []bool
+}
+
+// prInit builds the state from scratch at the current version: p = 0,
+// r = (1-d) everywhere (the teleport mass), so one full push pass
+// reconstructs PageRank. This is the only O(V+E·log 1/eps) step; every
+// subsequent update is incremental.
+func (d *DynamicEngine) prInit() {
+	v := d.ov.V()
+	st := &prState{
+		p:       make([]float64, v),
+		r:       make([]float64, v),
+		inQueue: make([]bool, v),
+	}
+	for i := range st.r {
+		st.r[i] = 1 - prDamping
+	}
+	d.pr = st
+}
+
+// prAbsorbBatch folds one just-applied batch into the residuals. For each
+// distinct source u of the batch, u's settled mass p[u] was distributed as
+// d·p[u]/degOld to each pre-batch out-edge; the truth is now d·p[u]/degNew
+// to each of degNew edges. The difference lands in the residuals of u's
+// neighbors: old neighbors gain d·p[u]·(1/degNew − 1/degOld), new ones
+// gain d·p[u]/degNew. Must be called with the batch already applied to the
+// overlay (ApplyUpdates does), and exactly once per batch — it
+// reconstructs degOld from the batch's own edge counts.
+func (d *DynamicEngine) prAbsorbBatch(batch []EdgeUpdate) {
+	st := d.pr
+	added := map[uint32]uint32{}
+	for _, e := range batch {
+		added[e.Src]++
+	}
+	for u, n := range added {
+		degNew := d.ov.OutDeg(u)
+		degOld := degNew - n
+		pu := st.p[u]
+		if pu == 0 {
+			continue // no settled mass to redistribute
+		}
+		if degOld > 0 {
+			adj := prDamping * pu * (1/float64(degNew) - 1/float64(degOld))
+			i := uint32(0)
+			d.ov.EachEdge(u, func(v uint32, _ uint8) {
+				// The first degOld slots of the row are the pre-batch
+				// edges only if the batch's own edges sit at the tail of
+				// the delta row — they do (Apply appends), but earlier
+				// batches' edges are interleaved with base edges only in
+				// the materialized view, never in EachEdge order. Apply
+				// the old-edge adjustment to every edge except this
+				// batch's own n tail entries.
+				if i < degNew-n {
+					st.r[v] += adj
+				}
+				i++
+			})
+		}
+		nw := prDamping * pu / float64(degNew)
+		// This batch's own edges are the tail of u's delta row.
+		row := d.ov.delta[u]
+		for _, e := range row[len(row)-int(n):] {
+			st.r[e.dst] += nw
+		}
+	}
+}
+
+// ApproxPageRank returns the delta-PageRank estimate at the current
+// version, pushing residuals until every |r| <= eps (eps <= 0 selects
+// DefaultPREps). The returned slice is a copy in the reference
+// formulation's scale (ranks sum to ~V). The estimate tracks the linear
+// system, not the reference's truncated iteration: expect agreement to
+// roughly eps·V/(1-d) plus the reference's own convergence slack, not bit
+// equality — exact pr queries go through Query.
+func (d *DynamicEngine) ApproxPageRank(eps float64) ([]float64, QueryInfo, error) {
+	if eps <= 0 {
+		eps = DefaultPREps
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ov.V() == 0 {
+		return nil, QueryInfo{}, fmt.Errorf("stream: query on empty graph")
+	}
+	if d.pr == nil {
+		d.prInit()
+	}
+	st := d.pr
+	// Seed the worklist with every vertex whose residual exceeds eps.
+	// FIFO order matters: it drains residual generations breadth-first,
+	// so total work is O((V+E)·log(mass/eps)); LIFO order degenerates to
+	// O(mass/eps) pushes of eps-sized residuals.
+	st.queue = st.queue[:0]
+	for v, r := range st.r {
+		if math.Abs(r) > eps {
+			st.queue = append(st.queue, uint32(v))
+			st.inQueue[v] = true
+		}
+	}
+	var pushes uint64
+	for head := 0; head < len(st.queue); head++ {
+		u := st.queue[head]
+		st.inQueue[u] = false
+		r := st.r[u]
+		if math.Abs(r) <= eps {
+			continue
+		}
+		pushes++
+		st.p[u] += r
+		st.r[u] = 0
+		deg := d.ov.OutDeg(u)
+		if deg == 0 {
+			continue // dangling: the reference formulation drops the mass
+		}
+		out := prDamping * r / float64(deg)
+		d.ov.EachEdge(u, func(v uint32, _ uint8) {
+			st.r[v] += out
+			if math.Abs(st.r[v]) > eps && !st.inQueue[v] {
+				st.inQueue[v] = true
+				st.queue = append(st.queue, v)
+			}
+		})
+	}
+	st.queue = st.queue[:0]
+	d.stats.DeltaPRQueries++
+	d.stats.DeltaPRPushes += pushes
+	out := make([]float64, len(st.p))
+	copy(out, st.p)
+	return out, QueryInfo{
+		Version:     d.ov.Version(),
+		Edges:       d.ov.E(),
+		Mode:        "incremental",
+		RepairEdges: pushes,
+	}, nil
+}

@@ -1,0 +1,434 @@
+package stream
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"piccolo/internal/algorithms"
+	"piccolo/internal/engine"
+	"piccolo/internal/graph"
+)
+
+// Config tunes a DynamicEngine. The zero value selects GOMAXPROCS workers,
+// a repair budget of E/4 edge visits and compaction at E/4 delta edges.
+type Config struct {
+	// Workers is the phase width of the fallback parallel engine (full
+	// recomputes); <= 0 selects GOMAXPROCS. Results are bit-identical at
+	// every value.
+	Workers int
+	// FatFraction is the repair budget as a fraction of the current edge
+	// count: once an incremental repair has visited more than
+	// FatFraction × E edges the touched set is "fat" and the repair is
+	// abandoned for a full engine.Run (both produce the same bits; only
+	// the constants differ). 0 selects 0.25; negative disables repair
+	// entirely (always full runs).
+	FatFraction float64
+	// CompactThreshold is the delta-edge count past which the overlay is
+	// compacted back into a fresh CSR after an update. 0 selects
+	// max(E/4, 4096).
+	CompactThreshold uint64
+}
+
+// Stats counts a DynamicEngine's work since construction.
+type Stats struct {
+	Version            uint64 // batches applied
+	EdgesApplied       uint64 // edges inserted across all batches
+	IncrementalRepairs uint64 // queries served by monotone repair
+	FullRecomputes     uint64 // queries served by a full engine.Run
+	CachedServes       uint64 // queries served from an already-current state
+	Compactions        uint64 // overlay compactions
+	DeltaPRQueries     uint64 // ApproxPageRank calls
+	DeltaPRPushes      uint64 // residual pushes across all ApproxPageRank calls
+}
+
+// QueryInfo describes how a query was served.
+type QueryInfo struct {
+	// Version is the graph version the result was computed on.
+	Version uint64
+	// Edges is the graph's edge count at that version (snapshotted under
+	// the same lock as the execution, so it is consistent with Version
+	// even when updates race the query).
+	Edges uint64
+	// Mode is "cached", "incremental" or "full".
+	Mode string
+	// RepairEdges is the number of edge visits the incremental repair
+	// spent (0 for cached and full serves; full-run work is in the
+	// result's own EdgeVisits).
+	RepairEdges uint64
+}
+
+// stateKey identifies one cached kernel fixed point.
+type stateKey struct {
+	kernel string
+	src    uint32
+}
+
+// kernelState is a converged (fixed-point) result for one (kernel, src) at
+// some graph version. prop is owned by the state and mutated in place by
+// repairs; query results always return clones.
+type kernelState struct {
+	prop    []uint64
+	version uint64
+}
+
+// maxKernelStates bounds the per-engine fixed-point memo; eviction order is
+// arbitrary (evicting only costs a future full run, never correctness).
+const maxKernelStates = 64
+
+// DynamicEngine executes kernels over a mutable Overlay, repairing cached
+// fixed points incrementally when edges are inserted. All methods are safe
+// for concurrent use; queries and updates serialize on one mutex (like
+// engine.Engine, build one per independent stream).
+//
+// Exactness contract (DESIGN.md §10): Query returns vertex properties
+// bit-identical to algorithms.RunReference on the materialized post-update
+// graph. The monotone kernels (bfs, cc, sssp, sswp) get true incremental
+// repair — their fixed points are unique, so re-activating only vertices
+// whose fold inputs changed converges to exactly the reference bits.
+// PageRank's reference result is a truncated float64 power-iteration
+// trajectory, which no sub-linear repair can reproduce bit-for-bit, so
+// exact pr queries fall back to a full engine.Run; ApproxPageRank is the
+// incremental delta-PageRank path with an explicit tolerance.
+type DynamicEngine struct {
+	mu      sync.Mutex
+	ov      *Overlay
+	nv      uint32 // vertex count, fixed at construction (lock-free reads)
+	workers int
+	fatFrac float64
+	compact uint64
+
+	// log[i] is the batch that produced version logBase+1+i; repairs
+	// replay the batches between a state's version and the current one.
+	log     [][]EdgeUpdate
+	logBase uint64
+
+	states map[stateKey]*kernelState
+	eng    *engine.Engine // engine on the materialized CSR
+	engVer uint64
+	pr     *prState
+
+	// repair scratch, sized V.
+	inQueue []bool
+	queue   []uint32
+	next    []uint32
+
+	stats Stats
+}
+
+// maxLogBatches bounds the replay log; states older than the log's reach
+// are repaired by a full run instead.
+const maxLogBatches = 256
+
+// New builds a DynamicEngine over base. The base CSR is shared read-only.
+func New(base *graph.CSR, cfg Config) *DynamicEngine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = 0 // engine.New resolves GOMAXPROCS itself
+	}
+	d := &DynamicEngine{
+		ov:      NewOverlay(base),
+		nv:      base.V,
+		workers: w,
+		fatFrac: cfg.FatFraction,
+		compact: cfg.CompactThreshold,
+		states:  map[stateKey]*kernelState{},
+	}
+	if d.fatFrac == 0 {
+		d.fatFrac = 0.25
+	}
+	return d
+}
+
+// Version returns the current graph version (the number of applied
+// batches).
+func (d *DynamicEngine) Version() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ov.Version()
+}
+
+// Graph returns the materialized current graph (read-only). It is rebuilt
+// lazily per version.
+func (d *DynamicEngine) Graph() *graph.CSR {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ov.Materialized()
+}
+
+// V returns the (fixed) vertex count; E the current edge count. V reads a
+// construction-time copy — going through the overlay would race Compact's
+// base-pointer swap.
+func (d *DynamicEngine) V() uint32 { return d.nv }
+
+func (d *DynamicEngine) E() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ov.E()
+}
+
+// SetWorkers adjusts the fallback engine's phase width for subsequent
+// queries (<= 0 selects GOMAXPROCS). Results are bit-identical at every
+// width.
+func (d *DynamicEngine) SetWorkers(w int) {
+	if w < 0 {
+		w = 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.workers = w
+	if d.eng != nil {
+		d.eng.SetWorkers(w)
+	}
+}
+
+// Stats returns a snapshot of the work counters.
+func (d *DynamicEngine) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.Version = d.ov.Version()
+	return s
+}
+
+// ApplyUpdates inserts a batch of edges atomically and returns the new
+// graph version. The batch is appended to the repair log; when the overlay
+// has accumulated enough delta edges it is compacted back into a fresh
+// CSR (an O(V+E) representation change that alters no result).
+func (d *DynamicEngine) ApplyUpdates(batch []EdgeUpdate) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ov.Apply(batch); err != nil {
+		return 0, err
+	}
+	d.stats.EdgesApplied += uint64(len(batch))
+	d.log = append(d.log, slices.Clone(batch))
+	if len(d.log) > maxLogBatches {
+		drop := len(d.log) - maxLogBatches
+		d.log = append(d.log[:0], d.log[drop:]...)
+		d.logBase += uint64(drop)
+	}
+	// Delta-PR state repairs eagerly per batch (its residual adjustments
+	// need the pre-batch degrees, which are cheapest to reconstruct right
+	// at the boundary — deltapr.go).
+	if d.pr != nil {
+		d.prAbsorbBatch(batch)
+	}
+	threshold := d.compact
+	if threshold == 0 {
+		threshold = max(d.ov.Base().E()/4, 4096)
+	}
+	if d.ov.DeltaEdges() > threshold {
+		d.ov.Compact()
+		d.stats.Compactions++
+	}
+	return d.ov.Version(), nil
+}
+
+// resolveSrc canonicalizes a query source exactly as piccolo.RunKernel
+// does, but against the current overlay: negative or out-of-range selects
+// the highest-out-degree vertex at the current version. Kernels that
+// ignore the source (pr, cc) canonicalize to 0 so their cached state is
+// shared across spellings.
+func (d *DynamicEngine) resolveSrc(kernel string, src int64) uint32 {
+	if kernel == "pr" || kernel == "cc" {
+		return 0
+	}
+	if src >= 0 && src < int64(d.ov.V()) {
+		return uint32(src)
+	}
+	return d.ov.HighestDegreeVertex()
+}
+
+// Query executes the kernel at the current graph version and returns
+// properties bit-identical to algorithms.RunReference on the materialized
+// graph. maxIters <= 0 selects engine.DefaultMaxIters; any explicit
+// non-default cap always takes the full-run path (a capped run is not a
+// fixed point, so it can neither use nor feed the repair states, and a
+// state converged under one cap must not answer for another). The result's
+// Iterations/EdgeVisits report the work this call performed — for an
+// incremental serve that is the repair work, the measure of what streaming
+// saves.
+func (d *DynamicEngine) Query(kernel string, src int64, maxIters int) (*algorithms.ReferenceResult, QueryInfo, error) {
+	k, err := algorithms.New(kernel)
+	if err != nil {
+		return nil, QueryInfo{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ov.V() == 0 {
+		return nil, QueryInfo{}, fmt.Errorf("stream: query on empty graph")
+	}
+	if maxIters <= 0 {
+		maxIters = engine.DefaultMaxIters
+	}
+	s := d.resolveSrc(kernel, src)
+	cur := d.ov.Version()
+	info := QueryInfo{Version: cur, Edges: d.ov.E()}
+
+	// Only the default cap is repairable: states are fixed points reached
+	// under DefaultMaxIters, and serving one for a different explicit cap
+	// could disagree with a reference run truncated at that cap (e.g. a
+	// cap above the default but below the graph's convergence length).
+	repairable := kernel != "pr" && maxIters == engine.DefaultMaxIters && d.fatFrac > 0
+	key := stateKey{kernel: kernel, src: s}
+	if repairable {
+		if st := d.states[key]; st != nil {
+			if st.version == cur {
+				d.stats.CachedServes++
+				info.Mode = "cached"
+				return &algorithms.ReferenceResult{Prop: slices.Clone(st.prop)}, info, nil
+			}
+			if st.version >= d.logBase {
+				if res, edges, ok := d.repair(k, kernel, st, cur); ok {
+					d.stats.IncrementalRepairs++
+					info.Mode = "incremental"
+					info.RepairEdges = edges
+					return res, info, nil
+				}
+				// An aborted repair leaves st half-advanced: its values
+				// are valid bounds but no longer a fixed point of any
+				// version, so it must not seed a future repair.
+				delete(d.states, key)
+			}
+			// Out of log reach or fat: fall through to a full run, which
+			// replaces the state below.
+		}
+	}
+
+	res := d.fullRun(k, s, maxIters)
+	d.stats.FullRecomputes++
+	info.Mode = "full"
+	if repairable && res.Iterations < maxIters {
+		// Converged — a true fixed point, the only thing repair may start
+		// from. The state owns its own copy so later repairs cannot
+		// mutate the result we are about to return (the runner caches
+		// it).
+		if len(d.states) >= maxKernelStates {
+			for k := range d.states { // arbitrary eviction: costs a future full run, never correctness
+				delete(d.states, k)
+				break
+			}
+		}
+		d.states[key] = &kernelState{prop: slices.Clone(res.Prop), version: cur}
+	}
+	return res, info, nil
+}
+
+// fullRun executes the kernel on the materialized graph with the memoized
+// parallel engine (rebuilt when the version moved).
+func (d *DynamicEngine) fullRun(k algorithms.Kernel, src uint32, maxIters int) *algorithms.ReferenceResult {
+	cur := d.ov.Version()
+	if d.eng == nil || d.engVer != cur {
+		d.eng = engine.New(d.ov.Materialized(), engine.Config{Workers: d.workers})
+		d.engVer = cur
+	} else {
+		d.eng.SetWorkers(d.workers)
+	}
+	return d.eng.Run(k, src, maxIters)
+}
+
+// unusableProp returns the property value marking "this vertex has no
+// information to propagate yet" for a monotone kernel, and whether such a
+// value exists. Sources holding it are skipped during repair: for bfs and
+// sssp the unreached marker is MaxUint64 and Process would overflow it;
+// for sswp a zero width contributes the Reduce identity; cc labels are
+// always meaningful.
+func unusableProp(kernel string) (uint64, bool) {
+	switch kernel {
+	case "bfs", "sssp":
+		return ^uint64(0), true
+	case "sswp":
+		return 0, true
+	}
+	return 0, false
+}
+
+// repair advances a fixed point from st.version to the current version by
+// monotone re-activation: the sources of the inserted edges seed a
+// worklist, and any vertex whose property improves re-scans its out-edges
+// (over the overlay adjacency, so inserted edges propagate too). Because
+// the monotone kernels' Reduce/Apply are idempotent order-insensitive
+// folds with a unique fixed point above the starting state, the quiesced
+// result is bit-identical to a from-scratch reference run on the
+// materialized graph. Returns ok=false when the visited-edge budget
+// (FatFraction × E) is exceeded; the half-advanced state is still a valid
+// over-approximation but the caller discards it for a full run.
+func (d *DynamicEngine) repair(k algorithms.Kernel, kernel string, st *kernelState, cur uint64) (*algorithms.ReferenceResult, uint64, bool) {
+	if d.inQueue == nil {
+		d.inQueue = make([]bool, d.ov.V())
+	}
+	prop := st.prop
+	unusable, hasUnusable := unusableProp(kernel)
+	budget := uint64(d.fatFrac * float64(d.ov.E()))
+	var visited uint64
+
+	frontier := d.queue[:0]
+	enqueue := func(v uint32) {
+		if !d.inQueue[v] {
+			d.inQueue[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	// Seed: fold every inserted edge's contribution directly into its
+	// destination (srcDeg is irrelevant — only PageRank's Process reads
+	// it, and pr never takes this path).
+	ok := true
+	for i := st.version - d.logBase; i < uint64(len(d.log)) && ok; i++ {
+		for _, e := range d.log[i] {
+			visited++
+			if visited > budget {
+				ok = false
+				break
+			}
+			if hasUnusable && prop[e.Src] == unusable {
+				continue
+			}
+			contrib := k.Process(e.Weight, prop[e.Src], 0)
+			if np := k.Apply(prop[e.Dst], contrib); !k.Converged(prop[e.Dst], np) {
+				prop[e.Dst] = np
+				enqueue(e.Dst)
+			}
+		}
+	}
+
+	res := &algorithms.ReferenceResult{}
+	for len(frontier) > 0 && ok {
+		res.Iterations++
+		next := d.next[:0]
+		for _, u := range frontier {
+			d.inQueue[u] = false
+		}
+		for _, u := range frontier {
+			visited += uint64(d.ov.OutDeg(u))
+			if visited > budget {
+				ok = false
+				break
+			}
+			pu := prop[u]
+			d.ov.EachEdge(u, func(v uint32, w uint8) {
+				contrib := k.Process(w, pu, 0)
+				if np := k.Apply(prop[v], contrib); !k.Converged(prop[v], np) {
+					prop[v] = np
+					if !d.inQueue[v] {
+						d.inQueue[v] = true
+						next = append(next, v)
+					}
+				}
+			})
+		}
+		frontier, next = next, frontier
+		d.queue, d.next = frontier, next
+	}
+	// Reset scratch marks for the next repair regardless of outcome.
+	for _, u := range frontier {
+		d.inQueue[u] = false
+	}
+	res.EdgeVisits = visited
+	if !ok {
+		return nil, visited, false
+	}
+	st.version = cur
+	res.Prop = slices.Clone(prop)
+	return res, visited, true
+}

@@ -1,0 +1,47 @@
+package stream
+
+import (
+	"slices"
+	"testing"
+)
+
+// FuzzDecodeBatch fuzzes the update-batch wire decoder. Invariants:
+// DecodeBatch never panics, every accepted batch is fully validated
+// (non-empty, within the cap, weights in [1, 255]) and survives an
+// encode→decode round trip unchanged.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte(`[{"src":1,"dst":2,"weight":7}]`))
+	f.Add([]byte(`[{"src":0,"dst":0}]`))
+	f.Add([]byte(`[{"src":4294967295,"dst":4294967295,"weight":255},{"src":3,"dst":9,"weight":1}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"src":-1,"dst":2}]`))
+	f.Add([]byte(`[{"src":1.5,"dst":2}]`))
+	f.Add([]byte(`[{"src":1,"dst":2,"weight":256}]`))
+	f.Add([]byte(`[{"src":1,"dst":2,"wieght":3}]`))
+	f.Add([]byte(`[{"src":1,"dst":2}] trailing`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[null]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, err := DecodeBatch(data, 64)
+		if err != nil {
+			return // rejected: the invariant we want for malformed input
+		}
+		if len(batch) == 0 || len(batch) > 64 {
+			t.Fatalf("accepted batch of %d edges (cap 64)", len(batch))
+		}
+		for i, e := range batch {
+			if e.Weight == 0 {
+				t.Fatalf("accepted zero weight at %d", i)
+			}
+		}
+		rt, err := DecodeBatch(EncodeBatch(batch), 64)
+		if err != nil {
+			t.Fatalf("re-decoding accepted batch: %v", err)
+		}
+		if !slices.Equal(rt, batch) {
+			t.Fatalf("round trip changed the batch:\n got %+v\nwant %+v", rt, batch)
+		}
+	})
+}

@@ -32,6 +32,7 @@ import (
 	"piccolo/internal/engine"
 	"piccolo/internal/graph"
 	"piccolo/internal/runner"
+	"piccolo/internal/stream"
 )
 
 // System identifies one of the six simulated accelerator systems.
@@ -155,6 +156,10 @@ func GenerateWattsStrogatz(name string, v uint32, k int, beta float64, seed int6
 // writes it).
 func LoadGraph(path string) (*Graph, error) { return graph.ReadFile(path) }
 
+// HighestDegreeVertex returns the smallest vertex id of maximum out-degree
+// — the default traversal source everywhere a negative src is given.
+func HighestDegreeVertex(g *Graph) uint32 { return graph.HighestDegreeVertex(g) }
+
 // Reference runs the simulation-free executor and returns the converged
 // vertex properties and iteration count — handy for validating custom
 // workloads.
@@ -226,4 +231,36 @@ func RunKernel(kernel string, g *Graph, src int64, maxIters, workers int) (*Kern
 // largest components for cc).
 func TopK(kernel string, prop []uint64, k int) ([]VertexScore, error) {
 	return engine.TopK(kernel, prop, k)
+}
+
+// DynamicEngine is the streaming-update executor (DESIGN.md §10): a
+// versioned mutable overlay over an immutable base graph plus incremental
+// result repair. ApplyUpdates inserts edge batches; Query returns vertex
+// properties bit-identical to Reference on the materialized post-update
+// graph, served by monotone repair when cheap and a full engine run when
+// not; ApproxPageRank is the delta-PageRank residual-propagation path.
+// Safe for concurrent use.
+type DynamicEngine = stream.DynamicEngine
+
+// EdgeUpdate is one streamed edge insertion (weight in 1..255; multi-edges
+// and self-loops are legal, vertices must already exist).
+type EdgeUpdate = stream.EdgeUpdate
+
+// StreamConfig tunes a DynamicEngine; the zero value selects GOMAXPROCS
+// workers, a repair budget of a quarter of the edges and compaction at a
+// quarter delta growth.
+type StreamConfig = stream.Config
+
+// StreamStats counts a DynamicEngine's updates, repairs, full recomputes
+// and compactions.
+type StreamStats = stream.Stats
+
+// StreamQueryInfo reports how a DynamicEngine query was served ("cached",
+// "incremental" or "full") and at which graph version.
+type StreamQueryInfo = stream.QueryInfo
+
+// NewDynamicEngine builds a streaming executor over base. The base graph
+// is shared read-only and must not be mutated afterwards.
+func NewDynamicEngine(base *Graph, cfg StreamConfig) *DynamicEngine {
+	return stream.New(base, cfg)
 }
