@@ -1,0 +1,72 @@
+// Command piccolo-load is an open-loop load generator for piccolo-serve
+// (DESIGN.md §11). It fires mixed query/update traffic at a fixed
+// arrival rate — arrivals are scheduled by the clock, never gated on
+// completions, so a slow server cannot quietly throttle the offered
+// load — and reports the client-side latency distribution using the
+// same histogram type the server exports on /metrics.
+//
+// Quickstart (against a local piccolo-serve on the default port):
+//
+//	piccolo-load -addr http://localhost:8642 -rate 200 -duration 10s -update-fraction 0.1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"piccolo/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8642", "base URL of the piccolo-serve instance")
+		rate     = flag.Float64("rate", 100, "arrival rate in requests per second (open loop)")
+		duration = flag.Duration("duration", 10*time.Second, "how long to generate arrivals")
+		updFrac  = flag.Float64("update-fraction", 0.1, "fraction of arrivals that are edge-update batches")
+		dataset  = flag.String("dataset", "UU", "dataset to target")
+		scale    = flag.String("scale", "tiny", "graph scale preset")
+		kernels  = flag.String("kernels", "pr,bfs,cc,sssp,sswp", "comma-separated kernels to cycle through")
+		spread   = flag.Int64("src-spread", 0, "draw query sources from [0,N) to spread cache keys; 0 = single source per kernel")
+		batch    = flag.Int("batch-edges", 8, "edges per update batch")
+		seed     = flag.Int64("seed", 1, "RNG seed for the traffic sequence")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	var ks []string
+	for _, k := range strings.Split(*kernels, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			ks = append(ks, k)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:        strings.TrimRight(*addr, "/"),
+		Rate:           *rate,
+		Duration:       *duration,
+		UpdateFraction: *updFrac,
+		Dataset:        *dataset,
+		Scale:          *scale,
+		Kernels:        ks,
+		SrcSpread:      *spread,
+		BatchEdges:     *batch,
+		Seed:           *seed,
+		Timeout:        *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "piccolo-load: %v\n", err)
+		os.Exit(1)
+	}
+	res.Report(os.Stdout)
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}

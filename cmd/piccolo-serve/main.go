@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"sync/atomic"
 	"time"
 
 	"piccolo/internal/accel"
@@ -35,6 +37,7 @@ import (
 	"piccolo/internal/dram"
 	"piccolo/internal/engine"
 	"piccolo/internal/graph"
+	"piccolo/internal/obs"
 	"piccolo/internal/runner"
 	"piccolo/internal/stream"
 )
@@ -273,6 +276,15 @@ type queryResponse struct {
 	Iterations int                  `json:"iterations"`
 	EdgeVisits uint64               `json:"edge_visits"`
 	Top        []engine.VertexScore `json:"top"`
+	// Trace is present only for ?trace=1 requests: the execution's
+	// per-superstep (or repair) spans (DESIGN.md §11).
+	Trace *traceResponse `json:"trace,omitempty"`
+}
+
+// traceResponse is the inline execution trace returned by ?trace=1.
+type traceResponse struct {
+	TotalNS int64      `json:"total_ns"`
+	Spans   []obs.Span `json:"spans"`
 }
 
 // updateRequest is the JSON wire form of POST /update: a batch of edge
@@ -293,10 +305,20 @@ type updateResponse struct {
 	TotalEdges uint64 `json:"total_edges"`
 }
 
-// server wires the HTTP handlers to one shared runner and one batcher.
+// server wires the HTTP handlers to one shared runner and one batcher,
+// plus the observability state (obs.go): per-endpoint instruments in the
+// runner's shared registry, a request-ID sequence, and an optional
+// structured access logger (nil disables logging — tests).
 type server struct {
 	runner *runner.Runner
 	batch  *batcher
+
+	started   time.Time
+	bootID    string
+	reqSeq    atomic.Uint64
+	access    *log.Logger
+	endpoints []*endpointMetrics
+	pprof     bool
 }
 
 // canonicalize collapses client-distinct configs that simulate
@@ -321,19 +343,26 @@ func (s *server) canonicalize(job runner.Job) (runner.Job, error) {
 
 func newServer(workers int, window time.Duration, batchMax int) *server {
 	r := runner.New(workers)
-	return &server{runner: r, batch: newBatcher(r, window, batchMax)}
+	return &server{
+		runner:  r,
+		batch:   newBatcher(r, window, batchMax),
+		started: time.Now(),
+		bootID:  newBootID(),
+	}
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /run", s.handleRun)
-	mux.HandleFunc("POST /sweep", s.handleSweep)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /update", s.handleUpdate)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("POST /run", s.instrument("/run", s.handleRun))
+	mux.HandleFunc("POST /sweep", s.instrument("/sweep", s.handleSweep))
+	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("POST /update", s.instrument("/update", s.handleUpdate))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	if s.pprof {
+		mountPprof(mux)
+	}
 	return mux
 }
 
@@ -343,9 +372,18 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
+// writeJSON marshals v fully before touching the ResponseWriter, so an
+// encoding error yields one clean 500 instead of a 200 status line
+// followed by a truncated body (json.NewEncoder writes incrementally and
+// cannot take the status back once bytes are out).
 func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	w.Write(append(buf, '\n'))
 }
 
 // handleRun simulates one job, going through the micro-batcher.
@@ -378,10 +416,24 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 // folded into the key (DESIGN.md §10) so an entry can never outlive the
 // graph state it was computed on; the engine's worker count is not part of
 // the identity because results are bit-identical at every width.
+//
+// ?trace=1 attaches a span recorder and returns the execution's
+// per-superstep spans inline. Traced queries bypass the result cache —
+// a cached result has no execution to trace — so the flag is a debugging
+// tool, not a serving mode.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	traced := false
+	switch v := r.URL.Query().Get("trace"); v {
+	case "":
+	case "1", "true":
+		traced = true
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("trace must be 1 or true, got %q", v))
 		return
 	}
 	q, topK, err := req.query()
@@ -398,7 +450,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, info, err := s.runner.RunQueryInfo(q)
+	var (
+		res  *algorithms.ReferenceResult
+		info runner.QueryInfo
+		tr   *obs.Trace
+	)
+	if traced {
+		res, info, tr, err = s.runner.RunQueryTraced(q)
+	} else {
+		res, info, err = s.runner.RunQueryInfo(q)
+	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -421,7 +482,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, queryResponse{
+	out := queryResponse{
 		Key:        info.Key,
 		Dataset:    q.Dataset,
 		Kernel:     q.Kernel,
@@ -432,7 +493,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Iterations: res.Iterations,
 		EdgeVisits: res.EdgeVisits,
 		Top:        top,
-	})
+	}
+	if tr != nil {
+		out.Trace = &traceResponse{TotalNS: tr.TotalNS(), Spans: tr.Spans()}
+	}
+	writeJSON(w, out)
 }
 
 // handleUpdate applies a batch of edge insertions to a dataset's streaming
@@ -529,12 +594,28 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}{out})
 }
 
+// endpointStats is one endpoint's entry in /stats: the latency summary
+// from the same histogram /metrics exports, plus the in-flight gauge.
+type endpointStats struct {
+	obs.LatencySummary
+	InFlight int64 `json:"in_flight"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.runner.Stats()
 	qst := s.runner.QueryStats()
 	sst := s.runner.StreamStats()
+	endpoints := map[string]endpointStats{}
+	for _, m := range s.endpoints {
+		endpoints[m.path] = endpointStats{
+			LatencySummary: m.latency.Snapshot().Summary(),
+			InFlight:       m.inFlight.Value(),
+		}
+	}
 	writeJSON(w, map[string]any{
 		"workers":             s.runner.Workers(),
+		"uptime_s":            time.Since(s.started).Seconds(),
+		"graphs_loaded":       s.runner.GraphsLoaded(),
 		"cache_hits":          st.Hits,
 		"cache_misses":        st.Misses,
 		"cache_hit_rate":      st.HitRate(),
@@ -549,6 +630,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"full_recomputes":     sst.FullRecomputes,
 		"stream_cached":       sst.CachedServes,
 		"compactions":         sst.Compactions,
+		"repair_touched":      sst.RepairTouched,
+		"repair_edges":        sst.RepairEdges,
+		"repair_aborts":       sst.RepairAborts,
+		"endpoints":           endpoints,
 	})
 }
 
@@ -557,10 +642,16 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers; <= 0 selects GOMAXPROCS")
 	window := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window for /run")
 	batchMax := flag.Int("batch-max", 64, "max jobs per micro-batch")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes heap contents; keep off unless profiling)")
+	accessLog := flag.Bool("access-log", true, "emit one JSON access-log line per request to stderr")
 	flag.Parse()
 
 	s := newServer(*workers, *window, *batchMax)
-	log.Printf("piccolo-serve: listening on %s (%d workers, %v batch window)",
-		*addr, s.runner.Workers(), *window)
+	s.pprof = *pprofOn
+	if *accessLog {
+		s.access = log.New(os.Stderr, "", 0)
+	}
+	log.Printf("piccolo-serve: listening on %s (%d workers, %v batch window, pprof %v)",
+		*addr, s.runner.Workers(), *window, *pprofOn)
 	log.Fatal(http.ListenAndServe(*addr, s.routes()))
 }

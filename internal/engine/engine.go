@@ -33,9 +33,11 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"piccolo/internal/algorithms"
 	"piccolo/internal/graph"
+	"piccolo/internal/obs"
 )
 
 // DefaultMaxIters is the iteration cap applied by callers that pass no
@@ -98,6 +100,18 @@ type Engine struct {
 	buckets  [][][]pair // [chunk][shard] scatter buckets
 	shardCnt []uint64   // edges processed per dense shard
 	moved    []bool     // per-shard dense convergence flag
+
+	// trace, when non-nil, receives one "superstep" span per iteration
+	// (obs.Trace; schema in DESIGN.md §11). It is nil in normal operation
+	// — the only cost then is one nil check per iteration — and is never
+	// read or written by the parallel phases themselves, so it cannot
+	// perturb the determinism argument: tracing observes the phase
+	// barriers, it does not participate in them.
+	trace *obs.Trace
+	// scatterMark is the scatter→gather boundary timestamp of the last
+	// scatter-strategy iteration, recorded only while tracing (written
+	// between phase barriers by the single Run owner, never by workers).
+	scatterMark time.Time
 }
 
 // New builds an engine for g. The sharding pass is O(V+E); dense sub-CSRs
@@ -145,6 +159,13 @@ func (e *Engine) SetWorkers(w int) {
 
 // Shards returns the number of destination partitions.
 func (e *Engine) Shards() int { return e.shards }
+
+// SetTrace attaches a span recorder to subsequent Runs (nil detaches).
+// Callers that share an Engine (the runner's per-graph memo) must attach
+// and detach under the same lock that serializes Run. Results are
+// bit-identical with and without a recorder — tracing only reads the
+// phase timings.
+func (e *Engine) SetTrace(tr *obs.Trace) { e.trace = tr }
 
 // Run executes the kernel from src until convergence or maxIters and
 // returns properties, iteration count and edge visits bit-identical to
@@ -217,6 +238,21 @@ func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, max
 
 	for iter := 0; iter < maxIters && anyActive; iter++ {
 		res.Iterations++
+		var tStart time.Time
+		activeSrcs := -1
+		if e.trace != nil {
+			if act != nil {
+				activeSrcs = 0
+				for _, a := range act {
+					if a {
+						activeSrcs++
+					}
+				}
+			} else {
+				activeSrcs = int(g.V)
+			}
+			tStart = time.Now()
+		}
 		e.parallelDo(e.shards, func(s int) {
 			ds := &e.dense[s]
 			vtemp := e.vtemp
@@ -240,6 +276,10 @@ func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, max
 			}
 			e.shardCnt[s] = cnt
 		})
+		var tContrib time.Time
+		if e.trace != nil {
+			tContrib = time.Now()
+		}
 		e.parallelDo(e.shards, func(s int) {
 			moved := false
 			for v := e.bounds[s]; v < e.bounds[s+1]; v++ {
@@ -252,9 +292,11 @@ func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, max
 			}
 			e.moved[s] = moved
 		})
+		var iterEdges uint64
 		for s := 0; s < e.shards; s++ {
-			res.EdgeVisits += e.shardCnt[s]
+			iterEdges += e.shardCnt[s]
 		}
+		res.EdgeVisits += iterEdges
 		anyActive = false
 		for _, m := range e.moved {
 			if m {
@@ -263,6 +305,18 @@ func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, max
 			}
 		}
 		act = nil
+		if e.trace != nil {
+			now := time.Now()
+			e.trace.Add("superstep", tStart, now.Sub(tStart), map[string]any{
+				"iter":      iter,
+				"mode":      "dense",
+				"frontier":  activeSrcs,
+				"edges":     iterEdges,
+				"shards":    e.shards,
+				"stream_ns": tContrib.Sub(tStart).Nanoseconds(),
+				"apply_ns":  now.Sub(tContrib).Nanoseconds(),
+			})
+		}
 	}
 }
 
@@ -294,11 +348,21 @@ func (e *Engine) runSparse(k algorithms.Kernel, prop []uint64, active []bool, ma
 			frontierEdges += uint64(g.OutDeg(u))
 		}
 		res.EdgeVisits += frontierEdges
+		var tStart time.Time
+		if e.trace != nil {
+			tStart = time.Now()
+		}
+		strategy := "scatter"
 		if e.streamWorthwhile(frontierEdges) {
+			strategy = "stream"
 			e.denseOnce.Do(e.buildDense)
 			e.streamContributions(k, fp, prop, frontier)
 		} else {
 			e.scatterContributions(k, fp, prop, frontier)
+		}
+		var tContrib time.Time
+		if e.trace != nil {
+			tContrib = time.Now()
 		}
 
 		e.parallelDo(e.shards, func(s int) {
@@ -319,9 +383,29 @@ func (e *Engine) runSparse(k algorithms.Kernel, prop []uint64, active []bool, ma
 		// Shards own ascending destination ranges, so concatenating their
 		// sorted activation lists in shard order yields the next frontier
 		// already sorted ascending.
+		fsize := len(frontier)
 		frontier = frontier[:0]
 		for s := 0; s < e.shards; s++ {
 			frontier = append(frontier, e.next[s]...)
+		}
+		if e.trace != nil {
+			now := time.Now()
+			attrs := map[string]any{
+				"iter":     iter,
+				"mode":     "sparse",
+				"strategy": strategy,
+				"frontier": fsize,
+				"edges":    frontierEdges,
+				"shards":   e.shards,
+				"apply_ns": now.Sub(tContrib).Nanoseconds(),
+			}
+			if strategy == "stream" {
+				attrs["stream_ns"] = tContrib.Sub(tStart).Nanoseconds()
+			} else {
+				attrs["scatter_ns"] = e.scatterMark.Sub(tStart).Nanoseconds()
+				attrs["gather_ns"] = tContrib.Sub(e.scatterMark).Nanoseconds()
+			}
+			e.trace.Add("superstep", tStart, now.Sub(tStart), attrs)
 		}
 	}
 	e.frontier = frontier
@@ -423,6 +507,9 @@ func (e *Engine) scatterContributions(k algorithms.Kernel, fp *fastOps, prop []u
 			}
 		}
 	})
+	if e.trace != nil {
+		e.scatterMark = time.Now()
+	}
 
 	e.parallelDo(e.shards, func(s int) {
 		touched := e.touched[s][:0]

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// relErrBound is the histogram's advertised worst-case quantile error:
+// one log-linear bucket width (1/2^subBits), reported as the bucket's
+// upper bound, plus a hair of float slack.
+const relErrBound = 1.0/sub + 1e-9
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every bucket's reported upper bound must map back into that bucket,
+	// and bucket boundaries must be contiguous and increasing.
+	for i := 0; i < nBuckets; i++ {
+		hi := bucketMax(i)
+		if got := bucketIndex(hi); got != i {
+			t.Fatalf("bucketIndex(bucketMax(%d)=%d) = %d", i, hi, got)
+		}
+		if i > 0 {
+			prev := bucketMax(i - 1)
+			if hi <= prev {
+				t.Fatalf("bucket %d max %d <= bucket %d max %d", i, hi, i-1, prev)
+			}
+			if got := bucketIndex(prev + 1); got != i {
+				t.Fatalf("bucketIndex(%d) = %d, want %d (lower edge)", prev+1, got, i)
+			}
+		}
+	}
+	// The top of the int64 range must stay in bounds.
+	if got := bucketIndex(math.MaxInt64); got >= nBuckets {
+		t.Fatalf("bucketIndex(MaxInt64) = %d out of range %d", got, nBuckets)
+	}
+}
+
+// TestQuantileErrorBounds drives random samples from several latency-like
+// distributions through the histogram and checks every reported quantile
+// against the exact order statistic from a full sort.
+func TestQuantileErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() int64{
+		"uniform":   func() int64 { return rng.Int63n(50_000_000) },
+		"exp":       func() int64 { return int64(rng.ExpFloat64() * 2e6) },
+		"lognormal": func() int64 { return int64(math.Exp(rng.NormFloat64()*2 + 12)) },
+		"heavytail": func() int64 {
+			if rng.Intn(100) == 0 {
+				return int64(5e8 + rng.Int63n(5e9)) // slow 1%
+			}
+			return 50_000 + rng.Int63n(1_000_000)
+		},
+		"tiny": func() int64 { return rng.Int63n(40) }, // exact-bucket range
+	}
+	quantiles := []float64{0.5, 0.9, 0.99, 0.999, 1}
+	for name, draw := range dists {
+		h := NewHistogram()
+		n := 20_000
+		sample := make([]int64, n)
+		for i := range sample {
+			sample[i] = draw()
+			h.Observe(sample[i])
+		}
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		snap := h.Snapshot()
+		if snap.Count != uint64(n) {
+			t.Fatalf("%s: count %d, want %d", name, snap.Count, n)
+		}
+		for _, q := range quantiles {
+			got := snap.Quantile(q)
+			rank := int(q*float64(n)+0.5) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			exact := sample[rank]
+			// got is the upper bound of exact's bucket: never below the
+			// exact order statistic, and at most one bucket width above.
+			if got < exact {
+				t.Errorf("%s p%g: %d below exact %d", name, q*100, got, exact)
+			}
+			if float64(got) > float64(exact)*(1+relErrBound)+1 {
+				t.Errorf("%s p%g: %d exceeds exact %d by more than %.2f%%",
+					name, q*100, got, exact, relErrBound*100)
+			}
+		}
+		var sum uint64
+		for _, v := range sample {
+			sum += uint64(v)
+		}
+		if snap.Sum != sum {
+			t.Errorf("%s: sum %d, want %d", name, snap.Sum, sum)
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many
+// goroutines (run under -race in CI) and checks nothing is lost.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1e9))
+				if i%64 == 0 {
+					_ = h.Snapshot() // scrapes race recording by design
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("count %d, want %d", got, workers*per)
+	}
+}
+
+// TestMergeAssociativity is the property test for snapshot merging:
+// (a⊕b)⊕c and a⊕(b⊕c) and fold-in-any-order must agree exactly, and
+// equal the histogram of the concatenated samples.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		parts := make([]*HistSnapshot, 3)
+		all := NewHistogram()
+		for p := range parts {
+			h := NewHistogram()
+			for i, n := 0, rng.Intn(2000); i < n; i++ {
+				v := int64(math.Exp(rng.NormFloat64()*3 + 8))
+				h.Observe(v)
+				all.Observe(v)
+			}
+			parts[p] = h.Snapshot()
+		}
+		left := &HistSnapshot{}
+		left.Merge(parts[0])
+		left.Merge(parts[1])
+		left.Merge(parts[2])
+
+		right := &HistSnapshot{}
+		bc := &HistSnapshot{}
+		bc.Merge(parts[1])
+		bc.Merge(parts[2])
+		right.Merge(parts[0])
+		right.Merge(bc)
+
+		want := all.Snapshot()
+		for name, got := range map[string]*HistSnapshot{"left-fold": left, "right-fold": right} {
+			if got.Count != want.Count || got.Sum != want.Sum {
+				t.Fatalf("trial %d %s: count/sum (%d,%d) != (%d,%d)",
+					trial, name, got.Count, got.Sum, want.Count, want.Sum)
+			}
+			for i := range want.Counts {
+				if got.Counts[i] != want.Counts[i] {
+					t.Fatalf("trial %d %s: bucket %d: %d != %d",
+						trial, name, i, got.Counts[i], want.Counts[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRegistryAndPromExport(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("piccolo_test_total", "test counter", L("path", "/query"))
+	c.Add(3)
+	if again := r.Counter("piccolo_test_total", "test counter", L("path", "/query")); again != c {
+		t.Fatal("re-registration returned a different handle")
+	}
+	r.Counter("piccolo_test_total", "test counter", L("path", "/run")).Add(1)
+	g := r.Gauge("piccolo_in_flight", "gauge")
+	g.Set(2)
+	h := r.Histogram("piccolo_req_seconds", "latency", L("path", "/query"))
+	h.Observe(1_500_000) // 1.5ms
+	h.Observe(2_000_000)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`piccolo_test_total{path="/query"} 3`,
+		`piccolo_test_total{path="/run"} 1`,
+		`piccolo_in_flight 2`,
+		"# TYPE piccolo_req_seconds histogram",
+		`piccolo_req_seconds_count{path="/query"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("export missing %q:\n%s", want, text)
+		}
+	}
+	samples, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("export does not parse: %v\n%s", err, text)
+	}
+	if samples[`piccolo_test_total{path="/query"}`] != 3 {
+		t.Errorf("parsed counter = %v", samples[`piccolo_test_total{path="/query"}`])
+	}
+	// The histogram sum is exported in seconds.
+	if got := samples[`piccolo_req_seconds_sum{path="/query"}`]; math.Abs(got-0.0035) > 1e-12 {
+		t.Errorf("sum = %v, want 0.0035", got)
+	}
+	inf := samples[`piccolo_req_seconds_bucket{path="/query",le="+Inf"}`]
+	if inf != 2 {
+		t.Errorf("+Inf bucket = %v, want 2", inf)
+	}
+}
+
+func TestTraceRecorder(t *testing.T) {
+	tr := NewTrace()
+	t0 := tr.Start()
+	tr.Add("superstep", t0, 5*time.Millisecond, map[string]any{"iter": 0, "frontier": 10})
+	tr.Add("superstep", t0.Add(5*time.Millisecond), 3*time.Millisecond, nil)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Name != "superstep" || spans[0].Attrs["frontier"] != 10 {
+		t.Errorf("span 0: %+v", spans[0])
+	}
+	if spans[1].StartNS != (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("span 1 start %d", spans[1].StartNS)
+	}
+	if tr.TotalNS() != (8 * time.Millisecond).Nanoseconds() {
+		t.Errorf("total %d", tr.TotalNS())
+	}
+	// Nil traces are inert (the disabled-instrumentation path).
+	var nilT *Trace
+	nilT.Add("x", time.Now(), 0, nil)
+	if nilT.Spans() != nil || nilT.TotalNS() != 0 {
+		t.Error("nil trace not inert")
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed region of a trace. Attrs carry small structured
+// facts about the region (frontier size, execution mode, per-phase
+// nanoseconds); phase attrs use the "_ns" suffix so consumers can check
+// that a span's phases account for its duration (DESIGN.md §11 pins the
+// schema per span name).
+type Span struct {
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"` // offset from the trace's start
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Trace is an append-only recorder for one logical operation (a query's
+// supersteps, a repair). Recording allocates only when actually attached
+// — instrumented code holds a *Trace that is nil in normal operation and
+// checks it before paying any cost, so tracing is free unless a caller
+// asked for it (piccolo-serve's ?trace=1).
+//
+// A Trace is safe for concurrent Add; spans appear in completion order.
+type Trace struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []Span
+}
+
+// NewTrace returns a recorder whose span offsets are relative to now.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// Start returns the trace's epoch (for computing span offsets).
+func (t *Trace) Start() time.Time { return t.start }
+
+// Add records a span that began at start and lasted dur. Attrs is
+// retained, not copied — callers build a fresh map per span.
+func (t *Trace) Add(name string, start time.Time, dur time.Duration, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Name:    name,
+		StartNS: start.Sub(t.start).Nanoseconds(),
+		DurNS:   dur.Nanoseconds(),
+		Attrs:   attrs,
+	})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// TotalNS sums the span durations (the traced operation's attributed
+// time; wall time can be larger when spans have gaps).
+func (t *Trace) TotalNS() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total int64
+	for _, s := range t.spans {
+		total += s.DurNS
+	}
+	return total
+}

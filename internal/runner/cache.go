@@ -171,6 +171,13 @@ func (c *graphCache) get(name string, sc graph.Scale) (*graph.CSR, error) {
 	return e.g, e.err
 }
 
+// size reports how many entries the cache holds (loaded or loading).
+func (c *graphCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
 func (c *graphCache) reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

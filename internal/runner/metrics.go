@@ -1,0 +1,165 @@
+package runner
+
+import (
+	"time"
+
+	"piccolo/internal/obs"
+)
+
+// Metrics instrumentation (DESIGN.md §11). Every Runner owns one
+// obs.Registry; the event-driven series below are recorded inline on the
+// run/query/update paths (handles pre-registered — no registry lookup on
+// the hot path), while the pre-existing cumulative counters (cache Stats,
+// stream Stats, memoized-graph count) are bridged in as scrape-time
+// callbacks so there is exactly one source of truth for each number.
+//
+// Inventory owned by this file:
+//
+//	piccolo_run_seconds                  histogram  /run-path submission latency
+//	piccolo_run_total{outcome}           counter    hit|wait|exec|error
+//	piccolo_query_seconds                histogram  query submission latency
+//	piccolo_query_total{mode}            counter    cached|wait|engine|incremental|full|error
+//	piccolo_update_seconds               histogram  update-batch apply latency
+//	piccolo_update_total{outcome}        counter    ok|error
+//	piccolo_cache_hits_total{cache}      counter    sim|query (bridged)
+//	piccolo_cache_misses_total{cache}    counter    sim|query (bridged)
+//	piccolo_cache_invalidated_total      counter    query entries evicted by updates (bridged)
+//	piccolo_stream_updates_total         counter    applied batches (bridged)
+//	piccolo_stream_edges_applied_total   counter    (bridged)
+//	piccolo_stream_repairs_total{kind}   counter    incremental|full|cached (bridged)
+//	piccolo_stream_repair_touched_total  counter    touched-set sizes, summed (bridged)
+//	piccolo_stream_repair_edges_total    counter    repair edge visits, summed (bridged)
+//	piccolo_stream_repair_aborts_total   counter    fat repairs abandoned (bridged)
+//	piccolo_stream_compactions_total     counter    (bridged)
+//	piccolo_graphs_loaded                gauge      memoized dataset proxies (bridged)
+//	piccolo_workers                      gauge      worker-pool size (bridged)
+type runnerMetrics struct {
+	reg *obs.Registry
+
+	runSeconds    *obs.Histogram
+	querySeconds  *obs.Histogram
+	updateSeconds *obs.Histogram
+
+	runOutcome map[string]*obs.Counter
+	queryMode  map[string]*obs.Counter
+	updateOK   *obs.Counter
+	updateErr  *obs.Counter
+}
+
+func newRunnerMetrics(r *Runner) *runnerMetrics {
+	reg := obs.NewRegistry()
+	m := &runnerMetrics{
+		reg: reg,
+		runSeconds: reg.Histogram("piccolo_run_seconds",
+			"Simulation submission latency through the runner (includes cache hits)."),
+		querySeconds: reg.Histogram("piccolo_query_seconds",
+			"Functional query submission latency through the runner."),
+		updateSeconds: reg.Histogram("piccolo_update_seconds",
+			"Edge-update batch apply latency."),
+		runOutcome: map[string]*obs.Counter{},
+		queryMode:  map[string]*obs.Counter{},
+		updateOK: reg.Counter("piccolo_update_total",
+			"Update batches by outcome.", obs.L("outcome", "ok")),
+		updateErr: reg.Counter("piccolo_update_total",
+			"Update batches by outcome.", obs.L("outcome", "error")),
+	}
+	for _, o := range []string{"hit", "wait", "exec", "error"} {
+		m.runOutcome[o] = reg.Counter("piccolo_run_total",
+			"Simulation submissions by serving outcome.", obs.L("outcome", o))
+	}
+	for _, mode := range []string{"cached", "wait", "engine", "incremental", "full", "error"} {
+		m.queryMode[mode] = reg.Counter("piccolo_query_total",
+			"Functional queries by serving mode.", obs.L("mode", mode))
+	}
+
+	// Bridged series: the registry reads the owning subsystem at scrape
+	// time. All closures capture r, whose referenced state is
+	// mutex-guarded internally.
+	for _, c := range []struct {
+		cache string
+		stats func() Stats
+	}{{"sim", r.Stats}, {"query", r.QueryStats}} {
+		stats := c.stats
+		reg.CounterFunc("piccolo_cache_hits_total",
+			"Content-addressed cache hits (stored results and in-flight waits).",
+			func() uint64 { return stats().Hits }, obs.L("cache", c.cache))
+		reg.CounterFunc("piccolo_cache_misses_total",
+			"Content-addressed cache misses (executions).",
+			func() uint64 { return stats().Misses }, obs.L("cache", c.cache))
+	}
+	reg.CounterFunc("piccolo_cache_invalidated_total",
+		"Stored query results evicted by graph updates.",
+		func() uint64 { return r.QueryStats().Invalidated })
+	reg.CounterFunc("piccolo_stream_updates_total",
+		"Applied edge-update batches across all streamed graphs.",
+		func() uint64 { return r.StreamStats().Version })
+	reg.CounterFunc("piccolo_stream_edges_applied_total",
+		"Edges inserted across all update batches.",
+		func() uint64 { return r.StreamStats().EdgesApplied })
+	for _, k := range []struct {
+		kind string
+		get  func() uint64
+	}{
+		{"incremental", func() uint64 { return r.StreamStats().IncrementalRepairs }},
+		{"full", func() uint64 { return r.StreamStats().FullRecomputes }},
+		{"cached", func() uint64 { return r.StreamStats().CachedServes }},
+	} {
+		reg.CounterFunc("piccolo_stream_repairs_total",
+			"Streamed-graph queries by serving kind.", k.get, obs.L("kind", k.kind))
+	}
+	reg.CounterFunc("piccolo_stream_repair_touched_total",
+		"Touched-set sizes (vertices improved) summed across incremental repairs.",
+		func() uint64 { return r.StreamStats().RepairTouched })
+	reg.CounterFunc("piccolo_stream_repair_edges_total",
+		"Edge visits summed across incremental repairs (including aborted ones).",
+		func() uint64 { return r.StreamStats().RepairEdges })
+	reg.CounterFunc("piccolo_stream_repair_aborts_total",
+		"Incremental repairs abandoned for a full run (fat touched set).",
+		func() uint64 { return r.StreamStats().RepairAborts })
+	reg.CounterFunc("piccolo_stream_compactions_total",
+		"Overlay compactions across all streamed graphs.",
+		func() uint64 { return r.StreamStats().Compactions })
+	reg.GaugeFunc("piccolo_graphs_loaded",
+		"Memoized dataset proxies resident in the graph cache.",
+		func() int64 { return int64(r.GraphsLoaded()) })
+	reg.GaugeFunc("piccolo_workers",
+		"Worker-pool size.", func() int64 { return int64(r.Workers()) })
+	return m
+}
+
+// observeRun records one /run-path submission.
+func (m *runnerMetrics) observeRun(outcome string, start time.Time) {
+	m.runSeconds.Observe(time.Since(start).Nanoseconds())
+	if c := m.runOutcome[outcome]; c != nil {
+		c.Inc()
+	}
+}
+
+// observeQuery records one query submission under its serving mode.
+func (m *runnerMetrics) observeQuery(mode string, start time.Time) {
+	m.querySeconds.Observe(time.Since(start).Nanoseconds())
+	c := m.queryMode[mode]
+	if c == nil {
+		c = m.reg.Counter("piccolo_query_total",
+			"Functional queries by serving mode.", obs.L("mode", mode))
+	}
+	c.Inc()
+}
+
+// observeUpdate records one update batch.
+func (m *runnerMetrics) observeUpdate(err error, start time.Time) {
+	m.updateSeconds.Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		m.updateErr.Inc()
+	} else {
+		m.updateOK.Inc()
+	}
+}
+
+// Metrics returns the runner's registry, the single registration point
+// for every process-wide metric (piccolo-serve adds its HTTP series to
+// the same registry so GET /metrics is one coherent export).
+func (r *Runner) Metrics() *obs.Registry { return r.metrics.reg }
+
+// GraphsLoaded reports how many dataset proxies the graph cache holds.
+func (r *Runner) GraphsLoaded() int { return r.graphs.size() }

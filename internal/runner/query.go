@@ -3,10 +3,12 @@ package runner
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"piccolo/internal/algorithms"
 	"piccolo/internal/engine"
 	"piccolo/internal/graph"
+	"piccolo/internal/obs"
 	"piccolo/internal/stream"
 )
 
@@ -115,6 +117,17 @@ func (r *Runner) RunQuery(q Query) (*algorithms.ReferenceResult, error) {
 // the graph version the result reflects, and which execution path served
 // it.
 func (r *Runner) RunQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, error) {
+	start := time.Now()
+	res, info, err := r.runQueryInfo(q)
+	mode := info.Mode
+	if err != nil {
+		mode = "error"
+	}
+	r.metrics.observeQuery(mode, start)
+	return res, info, err
+}
+
+func (r *Runner) runQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, error) {
 	// Build (or fetch) the graph first: it resolves dataset errors before
 	// anything is cached, and CanonicalFor collapses every out-of-range
 	// Src onto the default so aliases share one cache entry.
@@ -149,7 +162,7 @@ func (r *Runner) RunQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, 
 	if d == nil {
 		info.Mode = "engine"
 		info.Edges = g.E()
-		res, err := r.execQuery(q, g)
+		res, err := r.execQuery(q, g, nil)
 		entryOut = queryEntry{res: res, version: 0, edges: g.E()}
 		r.queries.complete(key, c, entryOut, err, err == nil)
 		if err == nil {
@@ -157,7 +170,7 @@ func (r *Runner) RunQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, 
 		}
 		return res, info, err
 	}
-	res, sinfo, err := r.execDynamicQuery(q, d)
+	res, sinfo, err := r.execDynamicQuery(q, d, nil)
 	entryOut = queryEntry{res: res, version: sinfo.Version, edges: sinfo.Edges}
 	// An update may have landed between the version snapshot and the
 	// execution; the dynamic engine reports the version it actually ran
@@ -177,6 +190,49 @@ func (r *Runner) RunQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, 
 	return res, info, err
 }
 
+// RunQueryTraced executes q with a span recorder attached and returns the
+// trace next to the result: per-superstep engine spans for an execution,
+// one repair span for an incremental serve (DESIGN.md §11). Traced
+// queries bypass the result cache and the single-flight machinery — a
+// cached result has no execution to trace — so this is the debugging
+// path, not the serving path; it still counts in the query metrics under
+// its execution mode.
+func (r *Runner) RunQueryTraced(q Query) (*algorithms.ReferenceResult, QueryInfo, *obs.Trace, error) {
+	start := time.Now()
+	g, err := r.graphs.get(q.Dataset, q.Scale)
+	if err != nil {
+		r.metrics.observeQuery("error", start)
+		return nil, QueryInfo{}, nil, err
+	}
+	q = q.CanonicalFor(g)
+	d := r.streams.peek(q.Dataset, q.Scale)
+	q.Version = 0
+	if d != nil {
+		q.Version = d.Version()
+	}
+	tr := obs.NewTrace()
+	info := QueryInfo{Key: q.Key(), Version: q.Version}
+	if d == nil {
+		info.Mode = "engine"
+		info.Edges = g.E()
+		res, err := r.execQuery(q, g, tr)
+		if err != nil {
+			r.metrics.observeQuery("error", start)
+			return nil, info, nil, err
+		}
+		r.metrics.observeQuery(info.Mode, start)
+		return res, info, tr, nil
+	}
+	res, sinfo, err := r.execDynamicQuery(q, d, tr)
+	if err != nil {
+		r.metrics.observeQuery("error", start)
+		return nil, info, nil, err
+	}
+	info.Version, info.Edges, info.Mode = sinfo.Version, sinfo.Edges, sinfo.Mode
+	r.metrics.observeQuery(info.Mode, start)
+	return res, info, tr, nil
+}
+
 // execQuery runs the engine on the memoized per-graph instance. The engine
 // lock is taken before any pool slots, so a query blocked behind another
 // run on the same graph parks no idle capacity; once runnable, the query
@@ -184,8 +240,9 @@ func (r *Runner) RunQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, 
 // free right now, so the pool bound holds whether the width is spent on
 // many single-threaded simulations or a few parallel queries — the width
 // never changes the result bits. Panics are converted to errors for the
-// same reason as in exec.
-func (r *Runner) execQuery(q Query, g *graph.CSR) (res *algorithms.ReferenceResult, err error) {
+// same reason as in exec. A non-nil tr is attached to the engine for this
+// run only, under the entry mutex.
+func (r *Runner) execQuery(q Query, g *graph.CSR, tr *obs.Trace) (res *algorithms.ReferenceResult, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			// Drop the memoized engine: a panic mid-run can leave it with
@@ -208,6 +265,10 @@ func (r *Runner) execQuery(q Query, g *graph.CSR) (res *algorithms.ReferenceResu
 	e := r.engines.get(q.Dataset, q.Scale, g, r.workers)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if tr != nil {
+		e.eng.SetTrace(tr)
+		defer e.eng.SetTrace(nil)
+	}
 	r.sem <- struct{}{}
 	slots := 1
 	for slots < r.workers {
@@ -233,8 +294,9 @@ func (r *Runner) execQuery(q Query, g *graph.CSR) (res *algorithms.ReferenceResu
 // slot is mandatory, further free slots widen the fallback engine's phase
 // parallelism (incremental repairs are single-threaded and cheap — the
 // width only matters when the repair falls back to a full run). Width
-// never changes the result bits.
-func (r *Runner) execDynamicQuery(q Query, d *stream.DynamicEngine) (res *algorithms.ReferenceResult, info stream.QueryInfo, err error) {
+// never changes the result bits. A non-nil tr records this execution's
+// spans (stream.DynamicEngine.QueryTraced).
+func (r *Runner) execDynamicQuery(q Query, d *stream.DynamicEngine, tr *obs.Trace) (res *algorithms.ReferenceResult, info stream.QueryInfo, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("runner: query %s on %s panicked: %v",
@@ -258,7 +320,7 @@ func (r *Runner) execDynamicQuery(q Query, d *stream.DynamicEngine) (res *algori
 		}
 	}()
 	d.SetWorkers(slots)
-	return d.Query(q.Kernel, q.Src, q.MaxIters)
+	return d.QueryTraced(q.Kernel, q.Src, q.MaxIters, tr)
 }
 
 // QueryStats returns a snapshot of the query cache's counters (simulation

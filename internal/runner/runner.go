@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"piccolo/internal/core"
 	"piccolo/internal/graph"
@@ -74,6 +75,9 @@ type Runner struct {
 	// queryKeys maps each graph to the query-cache keys stored for it, so
 	// ApplyUpdates can evict exactly the updated graph's entries.
 	queryKeys queryKeyIndex
+	// metrics is the runner's obs registry plus pre-registered handles for
+	// the per-request series (metrics.go); always non-nil.
+	metrics *runnerMetrics
 }
 
 // New returns a runner executing at most workers simulations at once.
@@ -82,7 +86,7 @@ func New(workers int) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{
+	r := &Runner{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		results: newResultCache[*core.Result](),
@@ -91,6 +95,8 @@ func New(workers int) *Runner {
 		engines: newEngineCache(),
 		streams: newStreamCache(),
 	}
+	r.metrics = newRunnerMetrics(r)
+	return r
 }
 
 // Workers returns the worker-pool size.
@@ -117,18 +123,26 @@ func (r *Runner) ResetCache() {
 // job occupies a worker slot. Run may be called from any number of
 // goroutines; the pool bounds only the simulations themselves.
 func (r *Runner) Run(job Job) (*core.Result, error) {
+	start := time.Now()
 	res, c, leader := r.results.lookup(job.Key())
 	if c == nil {
+		r.metrics.observeRun("hit", start)
 		return res, nil // cache hit
 	}
 	if !leader {
 		<-c.done // identical job already in flight
+		r.metrics.observeRun("wait", start)
 		return c.res, c.err
 	}
 	r.sem <- struct{}{}
 	res, err := r.exec(job)
 	<-r.sem
 	r.results.complete(job.Key(), c, res, err, true)
+	if err != nil {
+		r.metrics.observeRun("error", start)
+	} else {
+		r.metrics.observeRun("exec", start)
+	}
 	return res, err
 }
 

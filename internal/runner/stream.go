@@ -3,6 +3,7 @@ package runner
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"piccolo/internal/graph"
 	"piccolo/internal/stream"
@@ -73,16 +74,20 @@ func (c *streamCache) all() []*stream.DynamicEngine {
 // they could never be hit again — eviction just reclaims them promptly)
 // while leaving every other graph's entries alone.
 func (r *Runner) ApplyUpdates(dataset string, sc graph.Scale, batch []stream.EdgeUpdate) (uint64, error) {
+	start := time.Now()
 	g, err := r.graphs.get(dataset, sc)
 	if err != nil {
+		r.metrics.observeUpdate(err, start)
 		return 0, err
 	}
 	d := r.streams.getOrCreate(dataset, sc, g, r.workers)
 	ver, err := d.ApplyUpdates(batch)
 	if err != nil {
+		r.metrics.observeUpdate(err, start)
 		return 0, err
 	}
 	r.queries.removeKeys(r.queryKeys.take(streamKey(dataset, sc)))
+	r.metrics.observeUpdate(nil, start)
 	return ver, nil
 }
 
@@ -133,6 +138,9 @@ func (r *Runner) StreamStats() stream.Stats {
 		total.Compactions += s.Compactions
 		total.DeltaPRQueries += s.DeltaPRQueries
 		total.DeltaPRPushes += s.DeltaPRPushes
+		total.RepairTouched += s.RepairTouched
+		total.RepairEdges += s.RepairEdges
+		total.RepairAborts += s.RepairAborts
 	}
 	return total
 }

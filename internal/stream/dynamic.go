@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"time"
 
 	"piccolo/internal/algorithms"
 	"piccolo/internal/engine"
 	"piccolo/internal/graph"
+	"piccolo/internal/obs"
 )
 
 // Config tunes a DynamicEngine. The zero value selects GOMAXPROCS workers,
@@ -40,6 +42,16 @@ type Stats struct {
 	Compactions        uint64 // overlay compactions
 	DeltaPRQueries     uint64 // ApproxPageRank calls
 	DeltaPRPushes      uint64 // residual pushes across all ApproxPageRank calls
+
+	// Repair-shape counters (DESIGN.md §11): RepairTouched is the
+	// cumulative touched-set size — vertices whose property a repair
+	// actually improved — and RepairEdges the cumulative edge visits
+	// repairs spent, including the wasted work of aborted (fat) repairs
+	// counted by RepairAborts. Touched ≪ V and Edges ≪ E is the whole
+	// case for incremental serving; these make it a measured claim.
+	RepairTouched uint64
+	RepairEdges   uint64
+	RepairAborts  uint64
 }
 
 // QueryInfo describes how a query was served.
@@ -250,6 +262,17 @@ func (d *DynamicEngine) resolveSrc(kernel string, src int64) uint32 {
 // incremental serve that is the repair work, the measure of what streaming
 // saves.
 func (d *DynamicEngine) Query(kernel string, src int64, maxIters int) (*algorithms.ReferenceResult, QueryInfo, error) {
+	return d.QueryTraced(kernel, src, maxIters, nil)
+}
+
+// QueryTraced is Query with a span recorder attached for this execution
+// (DESIGN.md §11): an incremental serve records one "repair" span
+// (touched-set size, edge visits, worklist rounds); a full recompute
+// records the underlying engine's per-superstep spans. A nil recorder is
+// exactly Query. The recorder is attached only for the duration of this
+// call, under the engine mutex, so concurrent queries cannot interleave
+// spans into the wrong trace.
+func (d *DynamicEngine) QueryTraced(kernel string, src int64, maxIters int, tr *obs.Trace) (*algorithms.ReferenceResult, QueryInfo, error) {
 	k, err := algorithms.New(kernel)
 	if err != nil {
 		return nil, QueryInfo{}, err
@@ -280,10 +303,17 @@ func (d *DynamicEngine) Query(kernel string, src int64, maxIters int) (*algorith
 				return &algorithms.ReferenceResult{Prop: slices.Clone(st.prop)}, info, nil
 			}
 			if st.version >= d.logBase {
-				if res, edges, ok := d.repair(k, kernel, st, cur); ok {
+				t0 := time.Now()
+				if res, touched, edges, ok := d.repair(k, kernel, st, cur); ok {
 					d.stats.IncrementalRepairs++
 					info.Mode = "incremental"
 					info.RepairEdges = edges
+					tr.Add("repair", t0, time.Since(t0), map[string]any{
+						"kernel":      kernel,
+						"touched":     touched,
+						"edge_visits": edges,
+						"rounds":      res.Iterations,
+					})
 					return res, info, nil
 				}
 				// An aborted repair leaves st half-advanced: its values
@@ -296,7 +326,7 @@ func (d *DynamicEngine) Query(kernel string, src int64, maxIters int) (*algorith
 		}
 	}
 
-	res := d.fullRun(k, s, maxIters)
+	res := d.fullRunTraced(k, s, maxIters, tr)
 	d.stats.FullRecomputes++
 	info.Mode = "full"
 	if repairable && res.Iterations < maxIters {
@@ -318,12 +348,23 @@ func (d *DynamicEngine) Query(kernel string, src int64, maxIters int) (*algorith
 // fullRun executes the kernel on the materialized graph with the memoized
 // parallel engine (rebuilt when the version moved).
 func (d *DynamicEngine) fullRun(k algorithms.Kernel, src uint32, maxIters int) *algorithms.ReferenceResult {
+	return d.fullRunTraced(k, src, maxIters, nil)
+}
+
+// fullRunTraced is fullRun with the recorder attached for this run only
+// (the engine is private to d and every caller holds d.mu, so attaching
+// cannot race another run).
+func (d *DynamicEngine) fullRunTraced(k algorithms.Kernel, src uint32, maxIters int, tr *obs.Trace) *algorithms.ReferenceResult {
 	cur := d.ov.Version()
 	if d.eng == nil || d.engVer != cur {
 		d.eng = engine.New(d.ov.Materialized(), engine.Config{Workers: d.workers})
 		d.engVer = cur
 	} else {
 		d.eng.SetWorkers(d.workers)
+	}
+	if tr != nil {
+		d.eng.SetTrace(tr)
+		defer d.eng.SetTrace(nil)
 	}
 	return d.eng.Run(k, src, maxIters)
 }
@@ -353,20 +394,23 @@ func unusableProp(kernel string) (uint64, bool) {
 // result is bit-identical to a from-scratch reference run on the
 // materialized graph. Returns ok=false when the visited-edge budget
 // (FatFraction × E) is exceeded; the half-advanced state is still a valid
-// over-approximation but the caller discards it for a full run.
-func (d *DynamicEngine) repair(k algorithms.Kernel, kernel string, st *kernelState, cur uint64) (*algorithms.ReferenceResult, uint64, bool) {
+// over-approximation but the caller discards it for a full run. The
+// returned touched count is the touched-set size: distinct worklist
+// enqueues, i.e. vertices whose property the repair improved.
+func (d *DynamicEngine) repair(k algorithms.Kernel, kernel string, st *kernelState, cur uint64) (*algorithms.ReferenceResult, uint64, uint64, bool) {
 	if d.inQueue == nil {
 		d.inQueue = make([]bool, d.ov.V())
 	}
 	prop := st.prop
 	unusable, hasUnusable := unusableProp(kernel)
 	budget := uint64(d.fatFrac * float64(d.ov.E()))
-	var visited uint64
+	var visited, touched uint64
 
 	frontier := d.queue[:0]
 	enqueue := func(v uint32) {
 		if !d.inQueue[v] {
 			d.inQueue[v] = true
+			touched++
 			frontier = append(frontier, v)
 		}
 	}
@@ -412,6 +456,7 @@ func (d *DynamicEngine) repair(k algorithms.Kernel, kernel string, st *kernelSta
 					prop[v] = np
 					if !d.inQueue[v] {
 						d.inQueue[v] = true
+						touched++
 						next = append(next, v)
 					}
 				}
@@ -425,10 +470,13 @@ func (d *DynamicEngine) repair(k algorithms.Kernel, kernel string, st *kernelSta
 		d.inQueue[u] = false
 	}
 	res.EdgeVisits = visited
+	d.stats.RepairEdges += visited
+	d.stats.RepairTouched += touched
 	if !ok {
-		return nil, visited, false
+		d.stats.RepairAborts++
+		return nil, touched, visited, false
 	}
 	st.version = cur
 	res.Prop = slices.Clone(prop)
-	return res, visited, true
+	return res, touched, visited, true
 }
