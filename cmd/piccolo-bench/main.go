@@ -24,6 +24,13 @@
 //	piccolo-bench [-scale tiny|small|medium] [-workers N] [-only fig10,fig14]
 //	              [-engine serial|parallel] [-md out.md]
 //	piccolo-bench -updates [-update-scale 18] [-update-rounds 5] [-workers N]
+//
+// Either mode accepts -cpuprofile and -memprofile to capture pprof
+// profiles of the run — the way to profile the engine and streaming hot
+// loops against realistic workloads without editing test code:
+//
+//	piccolo-bench -only engine -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,20 +62,23 @@ func main() {
 	updates := flag.Bool("updates", false, "benchmark streaming updates (incremental vs full recompute) instead of the figure suite")
 	updateScale := flag.Int("update-scale", 18, "Kronecker scale of the -updates graph (2^scale vertices)")
 	updateRounds := flag.Int("update-rounds", 5, "update batches per kernel in -updates mode")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 	if *engineKind != "serial" && *engineKind != "parallel" {
 		fmt.Fprintf(os.Stderr, "unknown -engine %q (want serial or parallel)\n", *engineKind)
 		os.Exit(2)
 	}
-	if *updates {
-		fmt.Println(updatesTable(*updateScale, *updateRounds, *workers))
-		return
-	}
-
 	sc, err := graph.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
+	}
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	defer stopProfiles()
+	if *updates {
+		fmt.Println(updatesTable(*updateScale, *updateRounds, *workers))
+		return
 	}
 	r := runner.New(*workers)
 	o := experiments.Options{Scale: sc, PRIters: *prIters, Runner: r}
@@ -119,6 +130,7 @@ func main() {
 	if *mdPath != "" {
 		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *mdPath, err)
+			stopProfiles() // os.Exit skips the deferred flush
 			os.Exit(1)
 		}
 		fmt.Printf("markdown report written to %s\n", *mdPath)
@@ -282,6 +294,48 @@ func updatesTable(scale, rounds, workers int) *stats.Table {
 	t.AddNote("full = repair-disabled DynamicEngine: engine rebuild + run on the materialized graph per round")
 	t.AddNote("exact-repair results verified bit-identical to full recompute; worst exact speedup %.1fx", worst)
 	return t
+}
+
+// startProfiles begins the CPU profile and returns the finalizer that
+// stops it and dumps the heap profile; both are no-ops for empty paths.
+// Unusable paths are flag errors, so they exit immediately; failures while
+// finalizing only warn — the benchmark output already happened.
+func startProfiles(cpuPath, memPath string) func() {
+	var stopCPU func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return func() {
+		if stopCPU != nil {
+			stopCPU()
+			stopCPU = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+			f.Close()
+			memPath = ""
+		}
+	}
 }
 
 func mustDataset(name string, sc graph.Scale) *graph.CSR {

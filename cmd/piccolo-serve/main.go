@@ -605,6 +605,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.runner.Stats()
 	qst := s.runner.QueryStats()
 	sst := s.runner.StreamStats()
+	pushSteps, pullSteps := engine.SuperstepCounts()
 	endpoints := map[string]endpointStats{}
 	for _, m := range s.endpoints {
 		endpoints[m.path] = endpointStats{
@@ -633,6 +634,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"repair_touched":      sst.RepairTouched,
 		"repair_edges":        sst.RepairEdges,
 		"repair_aborts":       sst.RepairAborts,
+		"supersteps_push":     pushSteps,
+		"supersteps_pull":     pullSteps,
 		"endpoints":           endpoints,
 	})
 }

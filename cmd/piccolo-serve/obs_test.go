@@ -129,10 +129,13 @@ func TestQueryTrace(t *testing.T) {
 		if sp.Attrs["mode"] == nil || sp.Attrs["iter"] == nil || sp.Attrs["frontier"] == nil || sp.Attrs["shards"] == nil {
 			t.Errorf("span %d missing core attrs: %v", i, sp.Attrs)
 		}
+		if st, ok := sp.Attrs["strategy"].(string); !ok || (st != "push" && st != "pull") {
+			t.Errorf("span %d strategy = %v, want push or pull", i, sp.Attrs["strategy"])
+		}
 		// Acceptance: the per-phase durations account for the span — they
 		// sum to approximately (and never meaningfully above) dur_ns.
 		var phases float64
-		for _, k := range []string{"stream_ns", "scatter_ns", "gather_ns", "apply_ns"} {
+		for _, k := range []string{"pull_ns", "stream_ns", "scatter_ns", "gather_ns", "apply_ns"} {
 			if v, ok := sp.Attrs[k].(float64); ok {
 				phases += v
 			}
@@ -249,6 +252,16 @@ func TestStatsEndpointSummaries(t *testing.T) {
 	}
 	if _, ok := q["p99_ms"]; !ok {
 		t.Errorf("/query summary missing p99_ms: %v", q)
+	}
+	// The per-strategy superstep counters are process-wide, and the PR
+	// query above ran at least one dense (pull by default) superstep.
+	push, _ := st["supersteps_push"].(float64)
+	pull, ok := st["supersteps_pull"].(float64)
+	if !ok {
+		t.Fatalf("stats missing supersteps_pull: %v", st)
+	}
+	if push+pull < 1 {
+		t.Errorf("supersteps push=%v pull=%v, want at least one superstep recorded", push, pull)
 	}
 }
 

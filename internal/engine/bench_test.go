@@ -17,8 +17,9 @@ var benchGraph = sync.OnceValue(func() *graph.CSR {
 })
 
 // benchKernel runs one executor variant: workers == 0 selects the serial
-// reference loop, workers > 0 the sharded parallel engine.
-func benchKernel(b *testing.B, kernel string, maxIters, workers int) {
+// reference loop, workers > 0 the sharded parallel engine with the given
+// traversal direction.
+func benchKernel(b *testing.B, kernel string, maxIters, workers int, dir Direction) {
 	g := benchGraph()
 	k, err := algorithms.New(kernel)
 	if err != nil {
@@ -32,8 +33,8 @@ func benchKernel(b *testing.B, kernel string, maxIters, workers int) {
 			edges = algorithms.RunReference(g, k, src, maxIters).EdgeVisits
 		}
 	} else {
-		e := New(g, Config{Workers: workers})
-		edges = e.Run(k, src, maxIters).EdgeVisits // warm: builds sub-CSRs + buffers
+		e := New(g, Config{Workers: workers, Direction: dir})
+		edges = e.Run(k, src, maxIters).EdgeVisits // warm: builds sub-CSRs/CSC tiles + buffers
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			edges = e.Run(k, src, maxIters).EdgeVisits
@@ -45,21 +46,29 @@ func benchKernel(b *testing.B, kernel string, maxIters, workers int) {
 	}
 }
 
-// BenchmarkEnginePR compares serial vs parallel PageRank (dense mode) on
-// the Kronecker graph; `go test -bench EnginePR ./internal/engine` shows
-// the speedup per worker count.
-func BenchmarkEnginePR(b *testing.B) {
-	b.Run("serial", func(b *testing.B) { benchKernel(b, "pr", 10, 0) })
+// benchDirections emits the per-direction sub-benchmark grid: parallel-N
+// is the production default (auto direction switching), push-N and pull-N
+// pin each pure strategy so the regression gate (cmd/benchgate) sees every
+// path separately — an auto-mode win must not hide a pure-path regression.
+func benchDirections(b *testing.B, kernel string, maxIters int) {
+	b.Run("serial", func(b *testing.B) { benchKernel(b, kernel, maxIters, 0, DirAuto) })
 	for _, w := range []int{1, 2, 4, 8} {
-		b.Run("parallel-"+strconv.Itoa(w), func(b *testing.B) { benchKernel(b, "pr", 10, w) })
+		w := w
+		b.Run("parallel-"+strconv.Itoa(w), func(b *testing.B) { benchKernel(b, kernel, maxIters, w, DirAuto) })
+		b.Run("push-"+strconv.Itoa(w), func(b *testing.B) { benchKernel(b, kernel, maxIters, w, DirPush) })
+		b.Run("pull-"+strconv.Itoa(w), func(b *testing.B) { benchKernel(b, kernel, maxIters, w, DirPull) })
 	}
 }
 
+// BenchmarkEnginePR compares serial vs parallel PageRank (dense mode) on
+// the Kronecker graph across traversal directions; `go test -bench
+// EnginePR ./internal/engine` shows the speedup per worker count.
+func BenchmarkEnginePR(b *testing.B) {
+	benchDirections(b, "pr", 10)
+}
+
 // BenchmarkEngineBFS compares serial vs parallel BFS (sparse mode) run to
-// completion from the highest-degree vertex.
+// completion from the highest-degree vertex across traversal directions.
 func BenchmarkEngineBFS(b *testing.B) {
-	b.Run("serial", func(b *testing.B) { benchKernel(b, "bfs", DefaultMaxIters, 0) })
-	for _, w := range []int{1, 2, 4, 8} {
-		b.Run("parallel-"+strconv.Itoa(w), func(b *testing.B) { benchKernel(b, "bfs", DefaultMaxIters, w) })
-	}
+	benchDirections(b, "bfs", DefaultMaxIters)
 }

@@ -12,16 +12,28 @@
 // PageRank, whose float64 summation is not associative and therefore
 // sensitive to merge order (DESIGN.md §9).
 //
-// Two iteration modes cover the paper's kernels:
+// Two iteration modes cover the paper's kernels, and each iteration picks a
+// traversal direction (DESIGN.md §12, Beamer-style direction optimization):
 //
-//   - dense (PR-style AllActive): the graph is pre-split once into
-//     destination-sharded sub-CSRs, and every iteration each shard streams
-//     its own edge slice — no filtering, no materialization.
-//   - sparse (BFS/CC/SSSP/SSWP): a scatter phase partitions the sorted
-//     frontier into contiguous chunks and materializes (dst, contribution)
-//     pairs into per-(chunk, shard) buckets; the gather phase merges the
-//     buckets per shard in fixed ascending chunk order, which concatenates
-//     back to ascending source order.
+//   - push (source-centric): the frontier's out-edges drive the work.
+//     Thin frontiers scatter-gather — contiguous frontier chunks
+//     materialize (dst, contribution) pairs into per-(chunk, shard)
+//     buckets, merged per shard in ascending chunk order; mid-fat
+//     frontiers stream the destination-sharded sub-CSRs directly.
+//   - pull (destination-centric): each shard folds its owned destinations'
+//     in-edges from a CSC view (graph.BuildCSC), testing sources against a
+//     bitmap frontier. In-edge rows are stored in ascending (source,
+//     edge-index) order and cache-blocked into source-range tiles sized to
+//     L2 (graph.PullTileWidth), so the random prop reads stay resident
+//     while a tile's edges stream. Folding tiles in ascending order
+//     replays the reference fold order exactly, so pull is bit-identical
+//     to push for every kernel — including PageRank's non-associative
+//     float64 sums.
+//
+// The per-iteration direction is chosen by a Beamer heuristic (push→pull
+// when the frontier's out-edge sum exceeds the remaining in-edges / Alpha,
+// pull→push when the frontier shrinks below V/Beta) unless Config.Direction
+// forces one; the choice affects constants only, never result bits.
 //
 // All phase buffers live on the Engine and are reused across iterations and
 // runs. An Engine is not safe for concurrent Run calls; build one per
@@ -46,10 +58,48 @@ import (
 // so a pathological input cannot spin forever.
 const DefaultMaxIters = 10000
 
+// Direction selects the traversal strategy. Every choice is bit-identical;
+// only the constants differ.
+type Direction int
+
+const (
+	// DirAuto switches push↔pull per iteration with the Beamer heuristic
+	// (the default).
+	DirAuto Direction = iota
+	// DirPush forces source-centric traversal (scatter-gather or sub-CSR
+	// streaming) every iteration.
+	DirPush
+	// DirPull forces destination-centric (CSC) traversal every iteration.
+	DirPull
+)
+
+// String returns the benchmark/trace spelling of the direction.
+func (d Direction) String() string {
+	switch d {
+	case DirPush:
+		return "push"
+	case DirPull:
+		return "pull"
+	}
+	return "auto"
+}
+
+// Default Beamer switch parameters (DESIGN.md §12): push→pull when the
+// frontier's out-edge sum m_f satisfies m_f·Alpha > m_u (m_u = remaining
+// in-edges estimate), pull→push when |frontier|·Beta < V. The values are
+// Beamer's published defaults; they tune constants only, never bits.
+const (
+	defaultAlpha = 14
+	defaultBeta  = 24
+)
+
 // Config tunes an Engine. The zero value selects GOMAXPROCS workers.
 type Config struct {
 	// Workers is the number of goroutines per parallel phase; <= 0 selects
-	// runtime.GOMAXPROCS(0). Results are bit-identical at every value.
+	// runtime.GOMAXPROCS(0), and values above min(GOMAXPROCS, NumCPU) are
+	// clamped to it (goroutines beyond the processors that can run them
+	// cannot speed up a CPU-bound phase). Results are bit-identical at
+	// every value.
 	Workers int
 	// Shards is the number of destination partitions; 0 selects
 	// 2 × Workers (capped), which over-decomposes a little for load
@@ -57,6 +107,16 @@ type Config struct {
 	// sub-CSR source lists (the streaming mode's fixed scan cost) small.
 	// Results are bit-identical at every value.
 	Shards int
+	// Direction forces a traversal strategy; the zero value (DirAuto)
+	// switches per iteration. Results are bit-identical at every value.
+	Direction Direction
+	// Alpha and Beta tune the auto-mode switch heuristic; <= 0 selects the
+	// Beamer defaults (14, 24). Results are bit-identical at every value.
+	Alpha, Beta int
+	// TileSourceWidth is the pull-mode source-range tile width in
+	// vertices; 0 auto-sizes to the L2 budget (graph.PullTileWidth).
+	// Results are bit-identical at every value.
+	TileSourceWidth uint32
 }
 
 // Result is the functional output, structurally identical to the reference
@@ -83,17 +143,37 @@ type Engine struct {
 	bounds []uint32
 	owner  []uint16
 
-	// dense sub-CSRs, built on the first AllActive run or the first fat
-	// sparse frontier; srcsTotal is the sum of their source-list lengths
-	// (the per-iteration scan cost of the streaming path).
+	// dense sub-CSRs, built on the first AllActive push run or the first
+	// fat sparse frontier taking the stream path; srcsTotal is the sum of
+	// their source-list lengths (the per-iteration scan cost of the
+	// streaming path).
 	dense     []denseShard
 	denseOnce sync.Once
 	srcsTotal uint64
 
+	// pull-mode state: destination-sharded, source-tiled CSC views built
+	// lazily on the first pull iteration (pull.go); degs memoizes
+	// out-degrees for the pull Process calls.
+	pull      []pullShard
+	pullOnce  sync.Once
+	degs      []uint32
+	tileWidth uint32
+
+	// direction-optimization config and per-run heuristic state.
+	dir         Direction
+	alpha, beta uint64
+	curPull     bool   // current auto-mode direction (hysteresis)
+	remIn       uint64 // remaining in-edges estimate (m_u)
+	// forceStrategy, when non-nil, overrides the per-iteration direction
+	// choice (DirAuto defers to the normal logic). Test hook for the
+	// forced mid-run push↔pull switch suite; never set in production.
+	forceStrategy func(iter int) Direction
+
 	// Per-run state, reused across iterations and runs.
 	vtemp    []uint64
 	updated  []bool
-	activeIn []bool
+	active   *bitmap  // frontier bitmap view (stream + pull iterations)
+	contrib  []uint64 // per-source contributions (dense-pull fast path)
 	frontier []uint32
 	touched  [][]uint32 // per shard: destinations with contributions
 	next     [][]uint32 // per shard: activated vertices (sorted)
@@ -117,10 +197,7 @@ type Engine struct {
 // New builds an engine for g. The sharding pass is O(V+E); dense sub-CSRs
 // are built lazily on the first AllActive kernel run.
 func New(g *graph.CSR, cfg Config) *Engine {
-	w := cfg.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
+	w := clampWorkers(cfg.Workers)
 	p := cfg.Shards
 	if p <= 0 {
 		p = 2 * w
@@ -134,10 +211,37 @@ func New(g *graph.CSR, cfg Config) *Engine {
 	if p < 1 {
 		p = 1
 	}
-	e := &Engine{g: g, shards: p}
+	e := &Engine{g: g, shards: p, dir: cfg.Direction}
+	e.alpha = defaultAlpha
+	if cfg.Alpha > 0 {
+		e.alpha = uint64(cfg.Alpha)
+	}
+	e.beta = defaultBeta
+	if cfg.Beta > 0 {
+		e.beta = uint64(cfg.Beta)
+	}
+	e.tileWidth = cfg.TileSourceWidth
+	if e.tileWidth == 0 {
+		e.tileWidth = graph.PullTileWidth(g.V, 0)
+	}
 	e.workers.Store(int32(w))
 	e.partition()
 	return e
+}
+
+// Package-wide superstep counters by traversal direction, exported for the
+// observability layer (runner bridges them into /metrics as
+// piccolo_engine_supersteps_total{strategy}, piccolo-serve surfaces them in
+// /stats). Global atomics rather than per-engine fields because a process
+// hosts many engines (one per graph, plus the streaming fallbacks) and the
+// operator question — "which direction is the fleet actually running?" —
+// is a process-level one. Incremented once per superstep outside the
+// parallel phases, so they cannot perturb determinism.
+var superstepsPush, superstepsPull atomic.Uint64
+
+// SuperstepCounts returns the process-wide superstep totals by direction.
+func SuperstepCounts() (push, pull uint64) {
+	return superstepsPush.Load(), superstepsPull.Load()
 }
 
 // Workers returns the configured worker count.
@@ -151,10 +255,26 @@ func (e *Engine) Workers() int { return int(e.workers.Load()) }
 // Run — each phase snapshots the width once, and no width affects the
 // result bits (engine_test.go's race test runs exactly that schedule).
 func (e *Engine) SetWorkers(w int) {
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+	e.workers.Store(int32(clampWorkers(w)))
+}
+
+// clampWorkers resolves a requested phase width: <= 0 selects GOMAXPROCS,
+// and anything above min(GOMAXPROCS, NumCPU) is clamped down to it.
+// Goroutines beyond the processors that can actually run them (GOMAXPROCS
+// may be set above the hardware thread count) cannot speed up a CPU-bound
+// phase — they only add scheduler churn and (via the 2×Workers shard
+// default) bucket traffic, which is exactly the parallel-8 anti-scaling
+// the benchmark grid used to show. The clamp cannot change results: every
+// width is bit-identical by construction.
+func clampWorkers(w int) int {
+	p := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < p {
+		p = n
 	}
-	e.workers.Store(int32(w))
+	if w <= 0 || w > p {
+		return p
+	}
+	return w
 }
 
 // Shards returns the number of destination partitions.
@@ -179,13 +299,21 @@ func (e *Engine) Run(k algorithms.Kernel, src uint32, maxIters int) *Result {
 	for i := range e.vtemp {
 		e.vtemp[i] = identity
 	}
-	// updated/activeIn are cleared by the phases that set them, but an
+	// updated/active are cleared by the phases that set them, but an
 	// aborted (panicked) earlier run may have left stale marks — a stale
 	// updated[v] would silently drop v's contributions. Clearing here
 	// makes every Run self-contained for O(V), which the per-iteration
 	// work dwarfs.
 	clear(e.updated)
-	clear(e.activeIn)
+	if e.active != nil {
+		clear(e.active.words)
+		e.active.n = 0
+	}
+	// Direction-heuristic state is per-run: start push with the full
+	// in-edge mass unconsumed (performance-only — the choice never
+	// affects result bits).
+	e.curPull = false
+	e.remIn = e.g.E()
 	if k.AllActive() {
 		e.runDense(k, prop, active, maxIters, res)
 	} else {
@@ -202,17 +330,19 @@ func (e *Engine) ensureState() {
 	}
 	e.vtemp = make([]uint64, e.g.V)
 	e.updated = make([]bool, e.g.V)
-	e.activeIn = make([]bool, e.g.V)
 	e.touched = make([][]uint32, e.shards)
 	e.next = make([][]uint32, e.shards)
 	e.shardCnt = make([]uint64, e.shards)
 	e.moved = make([]bool, e.shards)
 }
 
-// runDense is the AllActive (PR-style) mode: every shard streams its dense
-// sub-CSR each iteration, then applies over its owned vertex range.
+// runDense is the AllActive (PR-style) mode: every iteration computes all
+// active sources' contributions — pull (the default: cache-blocked CSC
+// tiles, per-destination register accumulation) or push (forced DirPush:
+// each shard streams its dense sub-CSR) — then applies over the owned
+// vertex ranges. Both directions replay the reference fold order, so the
+// choice never affects result bits.
 func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, maxIters int, res *Result) {
-	e.denseOnce.Do(e.buildDense)
 	g := e.g
 	identity := k.Identity()
 
@@ -234,10 +364,18 @@ func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, max
 	}
 
 	fp := fastOpsFor(k)
-	fastDense := fp != nil && fp.dense != nil
 
 	for iter := 0; iter < maxIters && anyActive; iter++ {
 		res.Iterations++
+		// Dense iterations touch every in-edge either way; pull's tiled
+		// sequential accumulation wins unless the caller forced push, so
+		// there is no heuristic to run — only the force hooks.
+		usePull := e.dir != DirPush
+		if e.forceStrategy != nil {
+			if d := e.forceStrategy(iter); d != DirAuto {
+				usePull = d == DirPull
+			}
+		}
 		var tStart time.Time
 		activeSrcs := -1
 		if e.trace != nil {
@@ -253,29 +391,15 @@ func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, max
 			}
 			tStart = time.Now()
 		}
-		e.parallelDo(e.shards, func(s int) {
-			ds := &e.dense[s]
-			vtemp := e.vtemp
-			var cnt uint64
-			for i, u := range ds.srcs {
-				if act != nil && !act[u] {
-					continue
-				}
-				deg := g.OutDeg(u)
-				pu := prop[u]
-				lo, hi := ds.rowPtr[i], ds.rowPtr[i+1]
-				if fastDense {
-					fp.dense(vtemp, ds.col[lo:hi], ds.weight[lo:hi], pu, deg)
-				} else {
-					for j := lo; j < hi; j++ {
-						v := ds.col[j]
-						vtemp[v] = k.Reduce(vtemp[v], k.Process(ds.weight[j], pu, deg))
-					}
-				}
-				cnt += uint64(hi - lo)
-			}
-			e.shardCnt[s] = cnt
-		})
+		if usePull {
+			superstepsPull.Add(1)
+			e.pullOnce.Do(e.buildPull)
+			e.denseContribPull(k, fp, prop, act)
+		} else {
+			superstepsPush.Add(1)
+			e.denseOnce.Do(e.buildDense)
+			e.denseContribPush(k, fp, prop, act)
+		}
 		var tContrib time.Time
 		if e.trace != nil {
 			tContrib = time.Now()
@@ -307,24 +431,61 @@ func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, max
 		act = nil
 		if e.trace != nil {
 			now := time.Now()
+			strategy, contribKey := "push", "stream_ns"
+			if usePull {
+				strategy, contribKey = "pull", "pull_ns"
+			}
 			e.trace.Add("superstep", tStart, now.Sub(tStart), map[string]any{
-				"iter":      iter,
-				"mode":      "dense",
-				"frontier":  activeSrcs,
-				"edges":     iterEdges,
-				"shards":    e.shards,
-				"stream_ns": tContrib.Sub(tStart).Nanoseconds(),
-				"apply_ns":  now.Sub(tContrib).Nanoseconds(),
+				"iter":     iter,
+				"mode":     "dense",
+				"strategy": strategy,
+				"frontier": activeSrcs,
+				"edges":    iterEdges,
+				"shards":   e.shards,
+				contribKey: tContrib.Sub(tStart).Nanoseconds(),
+				"apply_ns": now.Sub(tContrib).Nanoseconds(),
 			})
 		}
 	}
 }
 
-// runSparse is the frontier mode. Each iteration picks one of two
-// bit-identical contribution strategies by frontier fatness — materialized
+// denseContribPush is the source-centric dense contribution phase: each
+// shard streams its destination-sharded sub-CSR in ascending source order.
+func (e *Engine) denseContribPush(k algorithms.Kernel, fp *fastOps, prop []uint64, act []bool) {
+	g := e.g
+	fastDense := fp != nil && fp.dense != nil
+	e.parallelDo(e.shards, func(s int) {
+		ds := &e.dense[s]
+		vtemp := e.vtemp
+		var cnt uint64
+		for i, u := range ds.srcs {
+			if act != nil && !act[u] {
+				continue
+			}
+			deg := g.OutDeg(u)
+			pu := prop[u]
+			lo, hi := ds.rowPtr[i], ds.rowPtr[i+1]
+			if fastDense {
+				fp.dense(vtemp, ds.col[lo:hi], ds.weight[lo:hi], pu, deg)
+			} else {
+				for j := lo; j < hi; j++ {
+					v := ds.col[j]
+					vtemp[v] = k.Reduce(vtemp[v], k.Process(ds.weight[j], pu, deg))
+				}
+			}
+			cnt += uint64(hi - lo)
+		}
+		e.shardCnt[s] = cnt
+	})
+}
+
+// runSparse is the frontier mode. Each iteration first picks a traversal
+// direction — push (source-centric) or pull (destination-centric CSC
+// fold over a bitmap frontier) — then, within push, one of two
+// bit-identical contribution strategies by frontier fatness: materialized
 // scatter-gather for thin frontiers, direct sub-CSR streaming for fat ones
-// (the iPregel-style frontier-aware switch) — then applies per shard and
-// rebuilds the frontier in shard order.
+// (the iPregel-style frontier-aware switch). Apply and frontier rebuild
+// are shared by every path.
 func (e *Engine) runSparse(k algorithms.Kernel, prop []uint64, active []bool, maxIters int, res *Result) {
 	g := e.g
 	identity := k.Identity()
@@ -340,25 +501,48 @@ func (e *Engine) runSparse(k algorithms.Kernel, prop []uint64, active []bool, ma
 	for iter := 0; iter < maxIters && len(frontier) > 0; iter++ {
 		res.Iterations++
 
-		// Both strategies process exactly the out-edges of the frontier, in
-		// the same per-destination order, so edge accounting and results
-		// are identical; only the constant factors differ.
+		// Every strategy processes exactly the out-edges of the frontier
+		// (pull tests each in-edge's source against the frontier bitmap,
+		// which selects the same edge set), folding each destination's
+		// contributions in the same ascending (source, edge-index) order,
+		// so edge accounting and results are identical; only the constant
+		// factors differ.
 		var frontierEdges uint64
 		for _, u := range frontier {
 			frontierEdges += uint64(g.OutDeg(u))
 		}
 		res.EdgeVisits += frontierEdges
+
+		usePull := false
+		switch {
+		case e.forceStrategy != nil && e.forceStrategy(iter) != DirAuto:
+			usePull = e.forceStrategy(iter) == DirPull
+		case e.dir == DirPull:
+			usePull = true
+		case e.dir == DirPush:
+			usePull = false
+		default:
+			usePull = e.autoPull(len(frontier), frontierEdges)
+		}
+
 		var tStart time.Time
 		if e.trace != nil {
 			tStart = time.Now()
 		}
-		strategy := "scatter"
-		if e.streamWorthwhile(frontierEdges) {
-			strategy = "stream"
-			e.denseOnce.Do(e.buildDense)
-			e.streamContributions(k, fp, prop, frontier)
+		strategy, path := "push", "scatter"
+		if usePull {
+			superstepsPull.Add(1)
+			strategy, path = "pull", "pull"
+			e.pullContributions(k, fp, prop, frontier)
 		} else {
-			e.scatterContributions(k, fp, prop, frontier)
+			superstepsPush.Add(1)
+			if e.streamWorthwhile(frontierEdges) {
+				path = "stream"
+				e.denseOnce.Do(e.buildDense)
+				e.streamContributions(k, fp, prop, frontier)
+			} else {
+				e.scatterContributions(k, fp, prop, frontier, frontierEdges)
+			}
 		}
 		var tContrib time.Time
 		if e.trace != nil {
@@ -394,14 +578,18 @@ func (e *Engine) runSparse(k algorithms.Kernel, prop []uint64, active []bool, ma
 				"iter":     iter,
 				"mode":     "sparse",
 				"strategy": strategy,
+				"path":     path,
 				"frontier": fsize,
 				"edges":    frontierEdges,
 				"shards":   e.shards,
 				"apply_ns": now.Sub(tContrib).Nanoseconds(),
 			}
-			if strategy == "stream" {
+			switch path {
+			case "pull":
+				attrs["pull_ns"] = tContrib.Sub(tStart).Nanoseconds()
+			case "stream":
 				attrs["stream_ns"] = tContrib.Sub(tStart).Nanoseconds()
-			} else {
+			default:
 				attrs["scatter_ns"] = e.scatterMark.Sub(tStart).Nanoseconds()
 				attrs["gather_ns"] = tContrib.Sub(e.scatterMark).Nanoseconds()
 			}
@@ -409,6 +597,36 @@ func (e *Engine) runSparse(k algorithms.Kernel, prop []uint64, active []bool, ma
 		}
 	}
 	e.frontier = frontier
+}
+
+// autoPull is the Beamer direction heuristic with hysteresis (DESIGN.md
+// §12): in push mode, switch to pull when the frontier's out-edge sum m_f
+// exceeds the remaining-in-edge estimate m_u / Alpha (the frontier is about
+// to touch a large fraction of what is left, so folding destinations
+// beats materializing source contributions); in pull mode, switch back to
+// push when the frontier shrinks below V / Beta (a thin frontier makes
+// scanning every destination's in-edges wasteful). m_u starts at E each
+// run and decays by the processed out-edge mass, floored at E/64 so a
+// re-fattening late frontier (CC label waves) still compares against
+// something — the estimate is deliberately crude: it tunes constants
+// only, never bits.
+func (e *Engine) autoPull(frontierLen int, frontierEdges uint64) bool {
+	if e.curPull {
+		if uint64(frontierLen)*e.beta < uint64(e.g.V) {
+			e.curPull = false
+		}
+	} else if frontierEdges*e.alpha > e.remIn {
+		e.curPull = true
+	}
+	if e.remIn > frontierEdges {
+		e.remIn -= frontierEdges
+	} else {
+		e.remIn = 0
+	}
+	if floor := e.g.E() / 64; e.remIn < floor {
+		e.remIn = floor
+	}
+	return e.curPull
 }
 
 // streamWorthwhile decides when streaming the sub-CSRs beats materializing
@@ -431,15 +649,15 @@ func (e *Engine) streamWorthwhile(frontierEdges uint64) bool {
 func (e *Engine) streamContributions(k algorithms.Kernel, fp *fastOps, prop []uint64, frontier []uint32) {
 	g := e.g
 	fast := fp != nil && fp.stream != nil
-	for _, u := range frontier {
-		e.activeIn[u] = true
-	}
+	e.ensureBitmap()
+	e.active.setAll(frontier)
+	active := e.active.words
 	e.parallelDo(e.shards, func(s int) {
 		ds := &e.dense[s]
 		touched := e.touched[s][:0]
 		vtemp := e.vtemp
 		for i, u := range ds.srcs {
-			if !e.activeIn[u] {
+			if active[u>>6]&(uint64(1)<<(u&63)) == 0 {
 				continue
 			}
 			deg := g.OutDeg(u)
@@ -460,22 +678,39 @@ func (e *Engine) streamContributions(k algorithms.Kernel, fp *fastOps, prop []ui
 		}
 		e.touched[s] = touched
 	})
-	for _, u := range frontier {
-		e.activeIn[u] = false
+	e.active.clearAll(frontier)
+}
+
+// ensureBitmap allocates the frontier bitmap on first use.
+func (e *Engine) ensureBitmap() {
+	if e.active == nil {
+		e.active = newBitmap(e.g.V)
 	}
 }
 
-// scatterContributions is the thin-frontier strategy: contiguous frontier
-// chunks materialize (dst, contribution) pairs into per-(chunk, shard)
-// buckets, and each shard folds its buckets in ascending chunk order.
-// Concatenating contiguous chunks in index order restores ascending source
-// order no matter where the boundaries fall, so the chunk count is free to
-// track the worker count without affecting results.
-func (e *Engine) scatterContributions(k algorithms.Kernel, fp *fastOps, prop []uint64, frontier []uint32) {
+// scatterChunkEdges is the adaptive-chunking target: each scatter chunk
+// should carry at least this many frontier out-edges, so thin frontiers
+// collapse to one chunk (inline execution, no goroutines, one bucket row
+// for the gather to scan) instead of paying 4×Workers chunk setups for
+// trivial work — the overhead that made added workers slow the thin
+// iterations down (BENCH_baseline.json's EngineBFS anti-scaling).
+const scatterChunkEdges = 4096
+
+// scatterContributions is the thin-frontier push strategy: contiguous
+// frontier chunks materialize (dst, contribution) pairs into per-(chunk,
+// shard) buckets, and each shard folds its buckets in ascending chunk
+// order. Concatenating contiguous chunks in index order restores ascending
+// source order no matter where the boundaries fall, so the chunk count is
+// free to track the worker count and the frontier's edge mass without
+// affecting results.
+func (e *Engine) scatterContributions(k algorithms.Kernel, fp *fastOps, prop []uint64, frontier []uint32, frontierEdges uint64) {
 	g := e.g
 	fastScatter := fp != nil && fp.scatter != nil
 	fastGather := fp != nil && fp.gather != nil
-	chunks := 4 * e.Workers()
+	chunks := int(frontierEdges/scatterChunkEdges) + 1
+	if maxChunks := 4 * e.Workers(); chunks > maxChunks {
+		chunks = maxChunks
+	}
 	if chunks > len(frontier) {
 		chunks = len(frontier)
 	}

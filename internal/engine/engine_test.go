@@ -53,7 +53,9 @@ func TestEngineMatchesReference(t *testing.T) {
 			for _, workers := range []int{1, 2, 4, 7} {
 				name := fmt.Sprintf("%s/%s/workers=%d", g.Name, k.Name(), workers)
 				t.Run(name, func(t *testing.T) {
-					got := New(g, Config{Workers: workers}).Run(k, src, 100)
+					// Shards pinned to 2×requested-workers so shard diversity
+					// survives the GOMAXPROCS/NumCPU worker clamp.
+					got := New(g, Config{Workers: workers, Shards: 2 * workers}).Run(k, src, 100)
 					assertBitIdentical(t, ref, got)
 				})
 			}

@@ -31,6 +31,15 @@ type fastOps struct {
 	// gather folds one materialized bucket into vtemp with first-touch
 	// tracking; returns the grown touched list.
 	gather func(vtemp []uint64, b []pair, updated []bool, touched []uint32) []uint32
+	// pull folds one source-range tile destination by destination, testing
+	// each in-edge's source against the frontier bitmap words (sparse pull
+	// mode); returns the grown touched list.
+	pull func(vtemp []uint64, t *pullTile, prop []uint64, degs []uint32, active []uint64, updated []bool, touched []uint32) []uint32
+	// densePrep materializes the per-source contribution for sources
+	// [lo, hi) once per dense-pull iteration (AllActive mode).
+	densePrep func(contrib, prop []uint64, degs []uint32, lo, hi uint32)
+	// densePull folds one tile's rows from the prepped contrib array.
+	densePull func(vtemp []uint64, t *pullTile, contrib []uint64)
 }
 
 // fastOpsFor resolves the specialized loops for the five paper kernels;
@@ -38,15 +47,15 @@ type fastOps struct {
 func fastOpsFor(k algorithms.Kernel) *fastOps {
 	switch k.(type) {
 	case algorithms.PageRank:
-		return &fastOps{dense: densePR}
+		return &fastOps{dense: densePR, densePrep: densePrepPR, densePull: densePullPR}
 	case algorithms.BFS:
-		return &fastOps{stream: streamBFS, scatter: scatterBFS, gather: gatherMin}
+		return &fastOps{stream: streamBFS, scatter: scatterBFS, gather: gatherMin, pull: pullBFS}
 	case algorithms.CC:
-		return &fastOps{stream: streamCC, scatter: scatterCC, gather: gatherMin}
+		return &fastOps{stream: streamCC, scatter: scatterCC, gather: gatherMin, pull: pullCC}
 	case algorithms.SSSP:
-		return &fastOps{stream: streamSSSP, scatter: scatterSSSP, gather: gatherMin}
+		return &fastOps{stream: streamSSSP, scatter: scatterSSSP, gather: gatherMin, pull: pullSSSP}
 	case algorithms.SSWP:
-		return &fastOps{stream: streamSSWP, scatter: scatterSSWP, gather: gatherMax}
+		return &fastOps{stream: streamSSWP, scatter: scatterSSWP, gather: gatherMax, pull: pullSSWP}
 	}
 	return nil
 }
@@ -179,4 +188,141 @@ func gatherMax(vtemp []uint64, b []pair, updated []bool, touched []uint32) []uin
 		}
 	}
 	return touched
+}
+
+// pullBFS exploits the BFS wave invariant: every frontier vertex carries
+// the same level L (levels only shrink via the min fold and each wave
+// activates exactly the vertices that improved to L), so every active
+// in-edge this iteration contributes the identical value L+1. The min
+// fold over equal values is the first value, so the row can stop at its
+// first active source, and a destination already marked updated this
+// iteration can be skipped entirely — both cuts change nothing about the
+// folded bits, which the differential suite checks against the reference.
+func pullBFS(vtemp []uint64, t *pullTile, prop []uint64, _ []uint32, active []uint64, updated []bool, touched []uint32) []uint32 {
+	for i, v := range t.dsts {
+		if updated[v] {
+			continue
+		}
+		for _, u := range t.row[t.rowPtr[i]:t.rowPtr[i+1]] {
+			if active[u>>6]&(uint64(1)<<(u&63)) == 0 {
+				continue
+			}
+			c := prop[u] + 1
+			if c < vtemp[v] {
+				vtemp[v] = c
+			}
+			updated[v] = true
+			touched = append(touched, v)
+			break
+		}
+	}
+	return touched
+}
+
+// pullCC: labels differ per source, so the whole row folds (min).
+func pullCC(vtemp []uint64, t *pullTile, prop []uint64, _ []uint32, active []uint64, updated []bool, touched []uint32) []uint32 {
+	for i, v := range t.dsts {
+		acc := vtemp[v]
+		hit := false
+		for _, u := range t.row[t.rowPtr[i]:t.rowPtr[i+1]] {
+			if active[u>>6]&(uint64(1)<<(u&63)) == 0 {
+				continue
+			}
+			if prop[u] < acc {
+				acc = prop[u]
+			}
+			hit = true
+		}
+		if hit {
+			vtemp[v] = acc
+			if !updated[v] {
+				updated[v] = true
+				touched = append(touched, v)
+			}
+		}
+	}
+	return touched
+}
+
+// pullSSSP: contribution = dist + weight, Reduce = min.
+func pullSSSP(vtemp []uint64, t *pullTile, prop []uint64, _ []uint32, active []uint64, updated []bool, touched []uint32) []uint32 {
+	for i, v := range t.dsts {
+		lo, hi := t.rowPtr[i], t.rowPtr[i+1]
+		acc := vtemp[v]
+		hit := false
+		for j := lo; j < hi; j++ {
+			u := t.row[j]
+			if active[u>>6]&(uint64(1)<<(u&63)) == 0 {
+				continue
+			}
+			if c := prop[u] + uint64(t.w[j]); c < acc {
+				acc = c
+			}
+			hit = true
+		}
+		if hit {
+			vtemp[v] = acc
+			if !updated[v] {
+				updated[v] = true
+				touched = append(touched, v)
+			}
+		}
+	}
+	return touched
+}
+
+// pullSSWP: contribution = min(capacity, weight), Reduce = max.
+func pullSSWP(vtemp []uint64, t *pullTile, prop []uint64, _ []uint32, active []uint64, updated []bool, touched []uint32) []uint32 {
+	for i, v := range t.dsts {
+		lo, hi := t.rowPtr[i], t.rowPtr[i+1]
+		acc := vtemp[v]
+		hit := false
+		for j := lo; j < hi; j++ {
+			u := t.row[j]
+			if active[u>>6]&(uint64(1)<<(u&63)) == 0 {
+				continue
+			}
+			c := uint64(t.w[j])
+			if pu := prop[u]; pu < c {
+				c = pu
+			}
+			if c > acc {
+				acc = c
+			}
+			hit = true
+		}
+		if hit {
+			vtemp[v] = acc
+			if !updated[v] {
+				updated[v] = true
+				touched = append(touched, v)
+			}
+		}
+	}
+	return touched
+}
+
+// densePrepPR materializes each source's PageRank contribution once per
+// iteration: bits(rank/deg). The division is deterministic and identical
+// to the one densePR performs per source, and the bits round-trip exactly,
+// so folding from contrib is bit-identical to folding per edge.
+func densePrepPR(contrib, prop []uint64, degs []uint32, lo, hi uint32) {
+	for u := lo; u < hi; u++ {
+		if d := degs[u]; d > 0 {
+			contrib[u] = math.Float64bits(math.Float64frombits(prop[u]) / float64(d))
+		}
+	}
+}
+
+// densePullPR register-accumulates one tile's rows: per destination, a
+// float64 running sum over the prepped contributions in row order — the
+// reference fold order — written back once per row.
+func densePullPR(vtemp []uint64, t *pullTile, contrib []uint64) {
+	for i, v := range t.dsts {
+		acc := math.Float64frombits(vtemp[v])
+		for _, u := range t.row[t.rowPtr[i]:t.rowPtr[i+1]] {
+			acc += math.Float64frombits(contrib[u])
+		}
+		vtemp[v] = math.Float64bits(acc)
+	}
 }

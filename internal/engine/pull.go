@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"piccolo/internal/algorithms"
+	"piccolo/internal/graph"
+)
+
+// Pull mode: destination-centric traversal over a CSC (in-edge) view.
+//
+// Each destination shard's in-edges are cache-blocked into source-range
+// tiles of width Engine.tileWidth: tile t of a shard holds exactly the
+// owned destinations' in-edges whose source lies in
+// [t·width, (t+1)·width). While a tile streams, the pull loop's random
+// reads — prop[u] and degs[u] — land inside that source window, which is
+// sized to stay L2-resident (graph.PullTileWidth; same working-set
+// arithmetic as the simulator's destination tiling in graph/tiling.go).
+//
+// Bit-identity (DESIGN.md §12): a destination's full in-edge row is stored
+// in ascending (source, edge-index) order (graph.BuildCSC's stable
+// counting sort), and restricting it to an ascending sequence of disjoint
+// source ranges partitions the row into contiguous-in-order pieces. Each
+// shard folds its tiles in ascending tile order and each tile's rows left
+// to right, accumulating partial folds in vtemp across tiles, so every
+// destination's contributions are reduced in exactly the reference
+// executor's order — the same order the push paths pin. PageRank's
+// non-associative float64 sums therefore come out bit-identical in either
+// direction, at any worker, shard, or tile-width choice.
+
+// pullTile is one (shard, source-range) sub-CSC: the shard's owned
+// destinations that have at least one in-edge from the tile's source
+// range, each with that slice of its in-edge row.
+type pullTile struct {
+	dsts   []uint32 // owned destinations with ≥1 in-edge in this tile, ascending
+	rowPtr []uint32 // row/w range of dsts[i] is [rowPtr[i], rowPtr[i+1])
+	row    []uint32 // in-edge sources, ascending (source, edge-index) per dst
+	w      []uint8  // weight per in-edge (same edge as row)
+}
+
+// pullShard is the pull-mode view of one destination shard: its in-edges
+// split into source-range tiles, plus the total edge count (the dense
+// accounting when every source is active).
+type pullShard struct {
+	tiles []pullTile
+	edges uint64
+}
+
+// buildPull materializes the per-shard tiled CSC views. One
+// graph.BuildCSC transpose (O(V+E)), then each shard splits its owned
+// destinations' rows into tiles with a count pass and a fill pass —
+// shards build in parallel, writing only their own pullShard. Memory cost
+// is one extra copy of Row+W (the shared CSC is released; only the tiled
+// copies and OutDeg are kept).
+func (e *Engine) buildPull() {
+	g := e.g
+	csc := graph.BuildCSC(g)
+	e.degs = csc.OutDeg
+	width := uint64(e.tileWidth)
+	nTiles := int((uint64(g.V) + width - 1) / width)
+	e.pull = make([]pullShard, e.shards)
+	e.parallelDo(e.shards, func(s int) {
+		lo, hi := e.bounds[s], e.bounds[s+1]
+		ps := &e.pull[s]
+		ps.tiles = make([]pullTile, nTiles)
+		edgeCnt := make([]uint32, nTiles)
+		rowCnt := make([]uint32, nTiles)
+		lastDst := make([]int64, nTiles)
+		for t := range lastDst {
+			lastDst[t] = -1
+		}
+		for v := lo; v < hi; v++ {
+			row, _ := csc.InEdges(v)
+			ps.edges += uint64(len(row))
+			for _, u := range row {
+				t := int(uint64(u) / width)
+				edgeCnt[t]++
+				if lastDst[t] != int64(v) {
+					lastDst[t] = int64(v)
+					rowCnt[t]++
+				}
+			}
+		}
+		for t := range ps.tiles {
+			ps.tiles[t] = pullTile{
+				dsts:   make([]uint32, 0, rowCnt[t]),
+				rowPtr: append(make([]uint32, 0, rowCnt[t]+1), 0),
+				row:    make([]uint32, 0, edgeCnt[t]),
+				w:      make([]uint8, 0, edgeCnt[t]),
+			}
+			lastDst[t] = -1
+		}
+		for v := lo; v < hi; v++ {
+			row, ws := csc.InEdges(v)
+			for i, u := range row {
+				t := int(uint64(u) / width)
+				pt := &ps.tiles[t]
+				if lastDst[t] != int64(v) {
+					lastDst[t] = int64(v)
+					pt.dsts = append(pt.dsts, v)
+					pt.rowPtr = append(pt.rowPtr, pt.rowPtr[len(pt.rowPtr)-1])
+				}
+				pt.row = append(pt.row, u)
+				pt.w = append(pt.w, ws[i])
+				pt.rowPtr[len(pt.rowPtr)-1]++
+			}
+		}
+	})
+}
+
+// pullContributions is the sparse pull phase: the frontier is materialized
+// as a bitmap, then every shard folds its owned destinations' in-edges,
+// testing each source against the bitmap — the selected edge set is
+// exactly the frontier's out-edges, folded per destination in reference
+// order. Touch tracking mirrors the push paths: a destination enters
+// touched[s] the first time it receives a contribution this iteration.
+func (e *Engine) pullContributions(k algorithms.Kernel, fp *fastOps, prop []uint64, frontier []uint32) {
+	e.pullOnce.Do(e.buildPull)
+	e.ensureBitmap()
+	e.active.setAll(frontier)
+	active := e.active.words
+	fast := fp != nil && fp.pull != nil
+	degs := e.degs
+	e.parallelDo(e.shards, func(s int) {
+		touched := e.touched[s][:0]
+		vtemp := e.vtemp
+		tiles := e.pull[s].tiles
+		for ti := range tiles {
+			pt := &tiles[ti]
+			if len(pt.dsts) == 0 {
+				continue
+			}
+			if fast {
+				touched = fp.pull(vtemp, pt, prop, degs, active, e.updated, touched)
+				continue
+			}
+			for i, v := range pt.dsts {
+				lo, hi := pt.rowPtr[i], pt.rowPtr[i+1]
+				acc := vtemp[v]
+				hit := false
+				for j := lo; j < hi; j++ {
+					u := pt.row[j]
+					if active[u>>6]&(uint64(1)<<(u&63)) == 0 {
+						continue
+					}
+					acc = k.Reduce(acc, k.Process(pt.w[j], prop[u], degs[u]))
+					hit = true
+				}
+				if hit {
+					vtemp[v] = acc
+					if !e.updated[v] {
+						e.updated[v] = true
+						touched = append(touched, v)
+					}
+				}
+			}
+		}
+		e.touched[s] = touched
+	})
+	e.active.clearAll(frontier)
+}
+
+// denseContribPull is the AllActive pull phase. With every source active
+// and a specialized kernel (PageRank), it runs the two-pass fast path:
+// densePrep materializes each source's per-edge contribution once
+// (contrib[u] = bits(prop[u]/deg[u]) — one division per vertex per
+// iteration instead of one per edge), then each shard register-accumulates
+// its tiles' rows from the contrib array. Otherwise it folds generically,
+// honoring the first-iteration activity flags per source. Both variants
+// replay the reference per-destination fold order.
+func (e *Engine) denseContribPull(k algorithms.Kernel, fp *fastOps, prop []uint64, act []bool) {
+	degs := e.degs
+	if act == nil && fp != nil && fp.densePull != nil {
+		if e.contrib == nil {
+			e.contrib = make([]uint64, e.g.V)
+		}
+		contrib := e.contrib
+		// The destination-shard bounds cover [0, V) contiguously; reuse
+		// them as source ranges for the prep pass.
+		e.parallelDo(e.shards, func(s int) {
+			fp.densePrep(contrib, prop, degs, e.bounds[s], e.bounds[s+1])
+		})
+		e.parallelDo(e.shards, func(s int) {
+			ps := &e.pull[s]
+			for ti := range ps.tiles {
+				fp.densePull(e.vtemp, &ps.tiles[ti], contrib)
+			}
+			e.shardCnt[s] = ps.edges
+		})
+		return
+	}
+	e.parallelDo(e.shards, func(s int) {
+		ps := &e.pull[s]
+		vtemp := e.vtemp
+		var cnt uint64
+		for ti := range ps.tiles {
+			pt := &ps.tiles[ti]
+			for i, v := range pt.dsts {
+				lo, hi := pt.rowPtr[i], pt.rowPtr[i+1]
+				acc := vtemp[v]
+				for j := lo; j < hi; j++ {
+					u := pt.row[j]
+					if act != nil && !act[u] {
+						continue
+					}
+					acc = k.Reduce(acc, k.Process(pt.w[j], prop[u], degs[u]))
+					cnt++
+				}
+				vtemp[v] = acc
+			}
+		}
+		e.shardCnt[s] = cnt
+	})
+}

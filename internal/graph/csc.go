@@ -1,0 +1,141 @@
+package graph
+
+import "fmt"
+
+// CSC is the in-edge (pull) view of a CSR graph: compressed sparse column.
+// The in-edges of destination v live in Row/W[ColPtr[v]:ColPtr[v+1]],
+// stored in ascending (source, edge-index) order — exactly the order the
+// reference executor's serial loop folds contributions into v. A pull-mode
+// engine that scans a destination's in-edge row left to right therefore
+// replays the reference Reduce fold operation for operation, which is what
+// keeps PageRank's non-associative float64 summation bit-identical to the
+// push path (DESIGN.md §12).
+//
+// OutDeg memoizes each source's out-degree (RowPtr[u+1]-RowPtr[u] in the
+// CSR): pull loops read the degree of random sources per edge, and a flat
+// uint32 array halves the bytes touched versus the two uint64 RowPtr
+// entries.
+type CSC struct {
+	V      uint32
+	ColPtr []uint64
+	Row    []uint32 // source vertex per in-edge
+	W      []uint8  // weight per in-edge (same edge as Row)
+	OutDeg []uint32 // out-degree per source vertex
+}
+
+// InDeg returns the in-degree of vertex v.
+func (c *CSC) InDeg(v uint32) uint32 {
+	return uint32(c.ColPtr[v+1] - c.ColPtr[v])
+}
+
+// InEdges returns the source and weight slices of destination v. The
+// returned slices alias the CSC arrays and must not be modified.
+func (c *CSC) InEdges(v uint32) ([]uint32, []uint8) {
+	lo, hi := c.ColPtr[v], c.ColPtr[v+1]
+	return c.Row[lo:hi], c.W[lo:hi]
+}
+
+// BuildCSC transposes g into its in-edge view with a stable counting sort:
+// count in-degrees, prefix-sum into ColPtr, then scan the CSR in its
+// native (source ascending, edge-index ascending) order appending each
+// edge to its destination's row. Stability of that single forward pass is
+// what guarantees every row ends up sorted by (source, edge-index) — no
+// comparison sort and no tie-breaking is needed, the scan order IS the
+// target order. O(V+E) time, one extra copy of Col+Weight in memory.
+func BuildCSC(g *CSR) *CSC {
+	c := &CSC{
+		V:      g.V,
+		ColPtr: make([]uint64, g.V+1),
+		Row:    make([]uint32, g.E()),
+		W:      make([]uint8, g.E()),
+		OutDeg: make([]uint32, g.V),
+	}
+	for _, v := range g.Col {
+		c.ColPtr[v+1]++
+	}
+	for v := uint32(0); v < g.V; v++ {
+		c.ColPtr[v+1] += c.ColPtr[v]
+	}
+	// next[v] is the fill cursor of v's row; seeded from ColPtr.
+	next := make([]uint64, g.V)
+	copy(next, c.ColPtr[:g.V])
+	for u := uint32(0); u < g.V; u++ {
+		dsts, ws := g.Neighbors(u)
+		c.OutDeg[u] = uint32(len(dsts))
+		for i, v := range dsts {
+			p := next[v]
+			next[v] = p + 1
+			c.Row[p] = u
+			c.W[p] = ws[i]
+		}
+	}
+	return c
+}
+
+// Validate checks the CSC's structural invariants: monotone ColPtr
+// covering exactly E edges, in-range sources, and every row sorted
+// ascending by source (the stable build makes equal-source runs keep their
+// CSR edge-index order, which Validate cannot see; csc_test.go's
+// round-trip property checks it against the CSR directly).
+func (c *CSC) Validate() error {
+	if uint64(len(c.ColPtr)) != uint64(c.V)+1 {
+		return fmt.Errorf("csc: colptr length %d, want %d", len(c.ColPtr), c.V+1)
+	}
+	if c.ColPtr[0] != 0 {
+		return fmt.Errorf("csc: colptr[0] = %d, want 0", c.ColPtr[0])
+	}
+	if c.ColPtr[c.V] != uint64(len(c.Row)) {
+		return fmt.Errorf("csc: colptr[V] = %d, want %d", c.ColPtr[c.V], len(c.Row))
+	}
+	if len(c.Row) != len(c.W) {
+		return fmt.Errorf("csc: row length %d != weight length %d", len(c.Row), len(c.W))
+	}
+	for v := uint32(0); v < c.V; v++ {
+		if c.ColPtr[v] > c.ColPtr[v+1] {
+			return fmt.Errorf("csc: colptr not monotone at vertex %d", v)
+		}
+		row, _ := c.InEdges(v)
+		for i, u := range row {
+			if u >= c.V {
+				return fmt.Errorf("csc: in-edge of %d from %d out of range (V=%d)", v, u, c.V)
+			}
+			if i > 0 && u < row[i-1] {
+				return fmt.Errorf("csc: in-edges of %d not sorted by source at %d", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultL2Bytes is the per-core L2 working-set budget the pull-mode tile
+// planner assumes when the caller does not override it: 512 KiB, at or
+// below the L2 of every mainstream core of the last decade, so the default
+// errs toward smaller (always-resident) tiles.
+const DefaultL2Bytes = 512 << 10
+
+// PullTileWidth returns the source-range width (in vertices) for
+// cache-blocked pull execution: tiles are sized so the source property
+// slice a tile reads (8 B/vertex, the paper's property granularity) fills
+// at most half the L2 budget, leaving the other half for the
+// destination-side accumulators and the streamed edge rows. This is the
+// same working-set arithmetic the simulator's destination-range tiling
+// uses (tiling.go, GridGraph [107]), applied on the source axis: the pull
+// loop's random reads land in prop[lo:lo+width], which stays resident
+// while a tile's edges stream. A width covering the whole graph (v small)
+// degenerates to untiled pull.
+func PullTileWidth(v uint32, l2Bytes int) uint32 {
+	if l2Bytes <= 0 {
+		l2Bytes = DefaultL2Bytes
+	}
+	w := uint32(l2Bytes / 2 / 8)
+	if w < 1024 {
+		w = 1024 // floor: below this, per-tile bookkeeping dominates
+	}
+	if w > v {
+		w = v
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}

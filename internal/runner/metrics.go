@@ -3,6 +3,7 @@ package runner
 import (
 	"time"
 
+	"piccolo/internal/engine"
 	"piccolo/internal/obs"
 )
 
@@ -31,6 +32,7 @@ import (
 //	piccolo_stream_repair_edges_total    counter    repair edge visits, summed (bridged)
 //	piccolo_stream_repair_aborts_total   counter    fat repairs abandoned (bridged)
 //	piccolo_stream_compactions_total     counter    (bridged)
+//	piccolo_engine_supersteps_total{strategy}  counter  push|pull iterations (bridged)
 //	piccolo_graphs_loaded                gauge      memoized dataset proxies (bridged)
 //	piccolo_workers                      gauge      worker-pool size (bridged)
 type runnerMetrics struct {
@@ -119,6 +121,17 @@ func newRunnerMetrics(r *Runner) *runnerMetrics {
 	reg.CounterFunc("piccolo_stream_compactions_total",
 		"Overlay compactions across all streamed graphs.",
 		func() uint64 { return r.StreamStats().Compactions })
+	// Direction-optimizing traversal (DESIGN.md §12): supersteps executed
+	// by each strategy, process-wide across every engine. The split is the
+	// operator's view of what the Beamer heuristic actually chose.
+	reg.CounterFunc("piccolo_engine_supersteps_total",
+		"Engine supersteps by traversal direction.",
+		func() uint64 { push, _ := engine.SuperstepCounts(); return push },
+		obs.L("strategy", "push"))
+	reg.CounterFunc("piccolo_engine_supersteps_total",
+		"Engine supersteps by traversal direction.",
+		func() uint64 { _, pull := engine.SuperstepCounts(); return pull },
+		obs.L("strategy", "pull"))
 	reg.GaugeFunc("piccolo_graphs_loaded",
 		"Memoized dataset proxies resident in the graph cache.",
 		func() int64 { return int64(r.GraphsLoaded()) })

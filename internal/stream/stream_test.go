@@ -195,6 +195,41 @@ func TestCompaction(t *testing.T) {
 	}
 }
 
+// TestCompactionInvalidatesPullState is the CSC-invalidation differential:
+// the full-run engine lazily builds pull-mode state (the tiled CSC views,
+// DESIGN.md §12) on its materialized CSR, and a compaction swaps that CSR
+// out from under the stream — so a stale engine would fold in-edges of a
+// graph that no longer exists. The DynamicEngine's per-version engine
+// rebuild makes invalidation automatic; this test drives every kernel
+// (including pr, whose dense mode defaults to pull, and bfs, whose auto
+// mode mixes both directions) across repeated compaction boundaries and
+// requires bit-identity with a from-scratch reference on the post-update
+// graph each round.
+func TestCompactionInvalidatesPullState(t *testing.T) {
+	for _, base := range testGraphs() {
+		// Repair disabled: every serve is a full engine run, so each round
+		// exercises the rebuilt engine's pull structures rather than the
+		// overlay repair path TestCompaction already covers.
+		d := New(base, Config{Workers: 3, FatFraction: -1, CompactThreshold: 8})
+		rng := rand.New(rand.NewSource(int64(base.V)))
+		edges := base.Edges()
+		for round := 0; round < 4; round++ {
+			batch := randomBatch(rng, base.V, 6)
+			if _, err := d.ApplyUpdates(batch); err != nil {
+				t.Fatal(err)
+			}
+			edges = append(edges, asEdges(batch)...)
+			refG := graph.FromEdges(base.Name, base.V, slices.Clone(edges))
+			for _, kernel := range allKernels {
+				checkQuery(t, d, refG, kernel)
+			}
+		}
+		if st := d.Stats(); st.Compactions == 0 {
+			t.Fatalf("%s: compaction never triggered at threshold 8 (stats %+v)", base.Name, st)
+		}
+	}
+}
+
 // TestCachedServe checks that a repeat query at an unchanged version is
 // served from the fixed-point memo without re-execution.
 func TestCachedServe(t *testing.T) {

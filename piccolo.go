@@ -179,8 +179,10 @@ func Reference(kernel string, g *Graph, src uint32, maxIters int) ([]uint64, int
 // Run calls.
 type Engine = engine.Engine
 
-// EngineConfig tunes worker and shard counts; the zero value selects
-// GOMAXPROCS workers. Results do not depend on either knob.
+// EngineConfig tunes worker and shard counts plus the traversal direction
+// (push, pull, or the default per-iteration Beamer auto-switch — DESIGN.md
+// §12); the zero value selects GOMAXPROCS workers and auto direction.
+// Results do not depend on any knob.
 type EngineConfig = engine.Config
 
 // KernelResult is a functional execution result: converged vertex
