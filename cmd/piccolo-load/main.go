@@ -35,6 +35,8 @@ func main() {
 		batch    = flag.Int("batch-edges", 8, "edges per update batch")
 		seed     = flag.Int64("seed", 1, "RNG seed for the traffic sequence")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		retries  = flag.Int("retries", 3, "retries per 429-shed request, honoring Retry-After with capped exponential backoff + jitter")
+		deadline = flag.Int("deadline-ms", 0, "X-Deadline-Ms budget stamped on every request; 0 = none")
 	)
 	flag.Parse()
 
@@ -60,6 +62,8 @@ func main() {
 		BatchEdges:     *batch,
 		Seed:           *seed,
 		Timeout:        *timeout,
+		Retries:        *retries,
+		DeadlineMS:     *deadline,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "piccolo-load: %v\n", err)

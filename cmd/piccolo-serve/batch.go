@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,12 +45,25 @@ func newBatcher(r *runner.Runner, window time.Duration, max int) *batcher {
 // batches returns the number of sweeps flushed so far.
 func (b *batcher) batches() uint64 { return b.n.Load() }
 
-// run submits one job and blocks until its batch completes.
-func (b *batcher) run(job runner.Job) (*core.Result, error) {
+// run submits one job and blocks until its batch completes or ctx ends.
+// The context covers only this caller's wait: the batch itself executes
+// under context.Background() (see flush), because one request's deadline
+// must not cancel the micro-batch it shares with other requests. A
+// deadline-blown caller therefore abandons its (buffered) result slot and
+// the simulation still completes into the shared cache.
+func (b *batcher) run(ctx context.Context, job runner.Job) (*core.Result, error) {
 	out := make(chan outcome, 1)
-	b.in <- pending{job: job, out: out}
-	o := <-out
-	return o.res, o.err
+	select {
+	case b.in <- pending{job: job, out: out}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case o := <-out:
+		return o.res, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // loop collects arrivals into batches. Each flush runs on its own
@@ -85,7 +99,7 @@ func (b *batcher) flush(batch []pending) {
 		wg.Add(1)
 		go func(p pending) {
 			defer wg.Done()
-			res, err := b.r.Run(p.job)
+			res, err := b.r.Run(context.Background(), p.job)
 			p.out <- outcome{res: res, err: err}
 		}(p)
 	}

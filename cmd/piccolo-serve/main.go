@@ -21,13 +21,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"piccolo/internal/accel"
@@ -319,6 +325,18 @@ type server struct {
 	access    *log.Logger
 	endpoints []*endpointMetrics
 	pprof     bool
+
+	// adm, when non-nil, gates the work endpoints (admission.go); nil
+	// admits everything (tests, default flags off).
+	adm *admission
+	// defaultDeadline is the per-request budget when the client sends no
+	// X-Deadline-Ms header (0 = none); maxDeadline clamps whatever budget
+	// results, including "none" (0 = no clamp).
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
+	// deadlineHits counts requests answered 504 because their deadline
+	// expired mid-execution.
+	deadlineHits *obs.Counter
 }
 
 // canonicalize collapses client-distinct configs that simulate
@@ -343,20 +361,34 @@ func (s *server) canonicalize(job runner.Job) (runner.Job, error) {
 
 func newServer(workers int, window time.Duration, batchMax int) *server {
 	r := runner.New(workers)
-	return &server{
+	s := &server{
 		runner:  r,
 		batch:   newBatcher(r, window, batchMax),
 		started: time.Now(),
 		bootID:  newBootID(),
 	}
+	s.deadlineHits = r.Metrics().Counter("piccolo_http_deadline_exceeded_total",
+		"Requests answered 504 because their deadline expired mid-execution.")
+	return s
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /run", s.instrument("/run", s.handleRun))
-	mux.HandleFunc("POST /sweep", s.instrument("/sweep", s.handleSweep))
-	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
-	mux.HandleFunc("POST /update", s.instrument("/update", s.handleUpdate))
+	// Work endpoints go behind the admission gate (outside instrument, so
+	// shed 429s never pollute the latency histograms the p99 breaker
+	// reads) and the deadline middleware (inside instrument, so 504s do
+	// count as slow requests — a deadline blown IS tail latency).
+	work := func(path string, h http.HandlerFunc) http.HandlerFunc {
+		wrapped := s.instrument(path, s.withDeadline(h))
+		if s.adm != nil {
+			s.adm.watch(s.endpoints[len(s.endpoints)-1].latency)
+		}
+		return s.gate(wrapped)
+	}
+	mux.HandleFunc("POST /run", work("/run", s.handleRun))
+	mux.HandleFunc("POST /sweep", work("/sweep", s.handleSweep))
+	mux.HandleFunc("POST /query", work("/query", s.handleQuery))
+	mux.HandleFunc("POST /update", work("/update", s.handleUpdate))
 	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -364,6 +396,55 @@ func (s *server) routes() *http.ServeMux {
 		mountPprof(mux)
 	}
 	return mux
+}
+
+// withDeadline derives the request's context budget: the client's
+// X-Deadline-Ms header if present, else the server default, the result
+// clamped by the server max (which also bounds "no deadline" requests
+// when set). A zero effective budget leaves the request's own context
+// untouched.
+func (s *server) withDeadline(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		budget := s.defaultDeadline
+		if v := r.Header.Get("X-Deadline-Ms"); v != "" {
+			ms, err := strconv.Atoi(v)
+			if err != nil || ms <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("X-Deadline-Ms must be a positive integer, got %q", v))
+				return
+			}
+			budget = time.Duration(ms) * time.Millisecond
+		}
+		if s.maxDeadline > 0 && (budget <= 0 || budget > s.maxDeadline) {
+			budget = s.maxDeadline
+		}
+		if budget <= 0 {
+			h(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// deadlineError reports whether err is the request's budget expiring (or
+// the client going away) rather than a fault in the work itself.
+func deadlineError(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// httpTimeout answers 504 for a deadline-terminated request. partial, when
+// non-nil, carries the execution's progress at cancellation (DESIGN.md
+// §13: the client paid for those supersteps; tell it what it got).
+func (s *server) httpTimeout(w http.ResponseWriter, err error, partial map[string]any) {
+	s.deadlineHits.Inc()
+	body := map[string]any{"error": err.Error()}
+	for k, v := range partial {
+		body[k] = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusGatewayTimeout)
+	json.NewEncoder(w).Encode(body)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
@@ -402,8 +483,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	res, err := s.batch.run(job)
+	res, err := s.batch.run(r.Context(), job)
 	if err != nil {
+		if deadlineError(err) {
+			s.httpTimeout(w, err, nil)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -456,11 +541,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		tr   *obs.Trace
 	)
 	if traced {
-		res, info, tr, err = s.runner.RunQueryTraced(q)
+		res, info, tr, err = s.runner.RunQueryTraced(r.Context(), q)
 	} else {
-		res, info, err = s.runner.RunQueryInfo(q)
+		res, info, err = s.runner.RunQueryInfo(r.Context(), q)
 	}
 	if err != nil {
+		if deadlineError(err) {
+			// A canceled query surfaces its partial progress: the engine
+			// stops at a superstep boundary and reports how far it got
+			// (iterations and edge visits, never a partial property array).
+			partial := map[string]any{"mode": info.Mode}
+			if res != nil {
+				partial["iterations"] = res.Iterations
+				partial["edge_visits"] = res.EdgeVisits
+			}
+			s.httpTimeout(w, err, partial)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -534,8 +631,14 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	ver, err := s.runner.ApplyUpdates(req.Dataset, sc, batch)
+	ver, err := s.runner.ApplyUpdates(r.Context(), req.Dataset, sc, batch)
 	if err != nil {
+		if deadlineError(err) {
+			// Refused before anything happened — updates are atomic, so a
+			// deadline can only stop a batch at the door, never mid-apply.
+			s.httpTimeout(w, err, nil)
+			return
+		}
 		// The decoder cannot see vertex bounds (only the overlay knows V),
 		// so bound violations surface here — still the client's fault.
 		httpError(w, http.StatusBadRequest, err)
@@ -580,8 +683,12 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		jobs[i] = job
 	}
-	results, err := s.runner.Sweep(jobs)
+	results, err := s.runner.Sweep(r.Context(), jobs)
 	if err != nil {
+		if deadlineError(err) {
+			s.httpTimeout(w, err, nil)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -647,14 +754,82 @@ func main() {
 	batchMax := flag.Int("batch-max", 64, "max jobs per micro-batch")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes heap contents; keep off unless profiling)")
 	accessLog := flag.Bool("access-log", true, "emit one JSON access-log line per request to stderr")
+	walDir := flag.String("wal-dir", "", "write-ahead-log directory for streaming updates; empty disables durability, non-empty replays any logs found there at startup")
+	walSegment := flag.Int64("wal-segment", 0, "WAL segment size in bytes before checkpoint+rotate; <= 0 selects the default")
+	defaultDeadline := flag.Duration("default-deadline", 0, "per-request deadline when the client sends no X-Deadline-Ms header; 0 means none")
+	maxDeadline := flag.Duration("max-deadline", 0, "upper clamp on any request deadline, including requests with none; 0 means no clamp")
+	maxInflight := flag.Int("max-inflight", 0, "admission cap on concurrently admitted work requests; 0 means unlimited")
+	p99SLO := flag.Duration("p99-slo", 0, "shed with 429 while the windowed p99 of admitted requests exceeds this; 0 disables the breaker")
+	sloWindow := flag.Duration("slo-window", 2*time.Second, "measurement window for the p99 breaker")
+	sloSustain := flag.Int("slo-sustain", 2, "consecutive windows over (under) the SLO before shedding starts (stops)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max time to finish in-flight requests on SIGTERM/SIGINT before closing anyway")
 	flag.Parse()
 
 	s := newServer(*workers, *window, *batchMax)
 	s.pprof = *pprofOn
+	s.defaultDeadline = *defaultDeadline
+	s.maxDeadline = *maxDeadline
 	if *accessLog {
 		s.access = log.New(os.Stderr, "", 0)
 	}
-	log.Printf("piccolo-serve: listening on %s (%d workers, %v batch window, pprof %v)",
-		*addr, s.runner.Workers(), *window, *pprofOn)
-	log.Fatal(http.ListenAndServe(*addr, s.routes()))
+	if *maxInflight > 0 || *p99SLO > 0 {
+		s.adm = newAdmission(s.runner.Metrics(), *maxInflight, *p99SLO, *sloWindow, *sloSustain)
+	}
+	if *walDir != "" {
+		recs, err := s.runner.EnableWAL(context.Background(), *walDir, *walSegment)
+		if err != nil {
+			log.Fatalf("piccolo-serve: wal recovery: %v", err)
+		}
+		for _, rec := range recs {
+			log.Printf("piccolo-serve: wal recovered %s@%d at version %d (%d overlay edges)",
+				rec.Dataset, rec.Scale, rec.Version, rec.Edges)
+		}
+	}
+	mux := s.routes() // after adm/WAL setup: routes wires the gate and breaker watches
+	if s.adm != nil {
+		s.adm.start()
+	}
+
+	// Explicit listener so the bound address is known (and logged) before
+	// traffic: ":0" deployments — tests, the crash-recovery smoke — learn
+	// their port from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("piccolo-serve: listen: %v", err)
+	}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+	log.Printf("piccolo-serve: listening on %s (%d workers, %v batch window, pprof %v, wal %q)",
+		ln.Addr(), s.runner.Workers(), *window, *pprofOn, *walDir)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("piccolo-serve: serve: %v", err)
+	case sig := <-sigCh:
+		// Graceful drain: stop accepting, finish in-flight requests within
+		// the drain budget, then flush the WAL so every acknowledged update
+		// is durable before exit.
+		log.Printf("piccolo-serve: %v: draining (up to %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("piccolo-serve: drain incomplete: %v", err)
+		}
+		if s.adm != nil {
+			s.adm.close()
+		}
+		if err := s.runner.CloseWAL(); err != nil {
+			log.Fatalf("piccolo-serve: wal close: %v", err)
+		}
+		log.Printf("piccolo-serve: shut down")
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -177,7 +178,7 @@ func TestBatcherCollapsesDuplicates(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := b.run(job)
+			res, err := b.run(context.Background(), job)
 			if err != nil {
 				t.Error(err)
 				return
@@ -275,7 +276,7 @@ func TestQueryEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.runner.RunQuery(runner.Query{Dataset: "SW", Kernel: "bfs", Scale: graph.ScaleTiny, Src: -1})
+	res, err := s.runner.RunQuery(context.Background(), runner.Query{Dataset: "SW", Kernel: "bfs", Scale: graph.ScaleTiny, Src: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

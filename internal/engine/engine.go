@@ -41,6 +41,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"slices"
 	"sync"
@@ -291,6 +292,23 @@ func (e *Engine) SetTrace(tr *obs.Trace) { e.trace = tr }
 // returns properties, iteration count and edge visits bit-identical to
 // algorithms.RunReference(g, k, src, maxIters).
 func (e *Engine) Run(k algorithms.Kernel, src uint32, maxIters int) *Result {
+	res, _ := e.RunCtx(context.Background(), k, src, maxIters)
+	return res
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked once
+// per superstep, at the iteration boundary, never mid-phase — so every
+// parallel phase that started also finished and the engine's scratch
+// buffers are clean for the next run. On cancellation it returns the
+// context's error together with a partial-progress Result whose
+// Iterations/EdgeVisits count the completed supersteps and whose Prop is
+// nil (an unconverged property vector must never be observable — callers
+// surface the stats, not the state). A run that reaches convergence before
+// the boundary check observes the cancellation returns the full result and
+// a nil error: cancellation yields either the context error or the
+// bit-identical complete result, never a third state (cancel_test.go pins
+// this at every boundary).
+func (e *Engine) RunCtx(ctx context.Context, k algorithms.Kernel, src uint32, maxIters int) (*Result, error) {
 	g := e.g
 	prop, active := k.Init(g, src)
 	res := &Result{}
@@ -314,13 +332,17 @@ func (e *Engine) Run(k algorithms.Kernel, src uint32, maxIters int) *Result {
 	// affects result bits).
 	e.curPull = false
 	e.remIn = e.g.E()
+	var err error
 	if k.AllActive() {
-		e.runDense(k, prop, active, maxIters, res)
+		err = e.runDense(ctx, k, prop, active, maxIters, res)
 	} else {
-		e.runSparse(k, prop, active, maxIters, res)
+		err = e.runSparse(ctx, k, prop, active, maxIters, res)
+	}
+	if err != nil {
+		return res, err
 	}
 	res.Prop = prop
-	return res
+	return res, nil
 }
 
 // ensureState allocates the per-run buffers on first use.
@@ -342,7 +364,7 @@ func (e *Engine) ensureState() {
 // each shard streams its dense sub-CSR) — then applies over the owned
 // vertex ranges. Both directions replay the reference fold order, so the
 // choice never affects result bits.
-func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, maxIters int, res *Result) {
+func (e *Engine) runDense(ctx context.Context, k algorithms.Kernel, prop []uint64, active []bool, maxIters int, res *Result) error {
 	g := e.g
 	identity := k.Identity()
 
@@ -366,6 +388,12 @@ func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, max
 	fp := fastOpsFor(k)
 
 	for iter := 0; iter < maxIters && anyActive; iter++ {
+		// Superstep boundary: the only cancellation point (package doc —
+		// phases behind this line have all completed and reset their
+		// scratch).
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		res.Iterations++
 		// Dense iterations touch every in-edge either way; pull's tiled
 		// sequential accumulation wins unless the caller forced push, so
@@ -447,6 +475,7 @@ func (e *Engine) runDense(k algorithms.Kernel, prop []uint64, active []bool, max
 			})
 		}
 	}
+	return nil
 }
 
 // denseContribPush is the source-centric dense contribution phase: each
@@ -486,7 +515,7 @@ func (e *Engine) denseContribPush(k algorithms.Kernel, fp *fastOps, prop []uint6
 // scatter-gather for thin frontiers, direct sub-CSR streaming for fat ones
 // (the iPregel-style frontier-aware switch). Apply and frontier rebuild
 // are shared by every path.
-func (e *Engine) runSparse(k algorithms.Kernel, prop []uint64, active []bool, maxIters int, res *Result) {
+func (e *Engine) runSparse(ctx context.Context, k algorithms.Kernel, prop []uint64, active []bool, maxIters int, res *Result) error {
 	g := e.g
 	identity := k.Identity()
 	fp := fastOpsFor(k)
@@ -499,6 +528,11 @@ func (e *Engine) runSparse(k algorithms.Kernel, prop []uint64, active []bool, ma
 	}
 
 	for iter := 0; iter < maxIters && len(frontier) > 0; iter++ {
+		// Superstep boundary: the only cancellation point (package doc).
+		if err := ctx.Err(); err != nil {
+			e.frontier = frontier
+			return err
+		}
 		res.Iterations++
 
 		// Every strategy processes exactly the out-edges of the frontier
@@ -597,6 +631,7 @@ func (e *Engine) runSparse(k algorithms.Kernel, prop []uint64, active []bool, ma
 		}
 	}
 	e.frontier = frontier
+	return nil
 }
 
 // autoPull is the Beamer direction heuristic with hysteresis (DESIGN.md

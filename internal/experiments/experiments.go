@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -101,7 +102,7 @@ func (o Options) graph(name string) *graph.CSR {
 // between the prewarm enumeration and this call, so both paths submit
 // identical cache keys.
 func (o Options) run(cfg core.Config, dsName string) *core.Result {
-	r, err := o.runner().Run(runner.Job{Dataset: dsName, Config: cfg})
+	r, err := o.runner().Run(context.Background(), runner.Job{Dataset: dsName, Config: cfg})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
@@ -111,7 +112,7 @@ func (o Options) run(cfg core.Config, dsName string) *core.Result {
 // prewarm executes every job in parallel across the runner's workers; the
 // aggregation loops that follow are then served entirely from the cache.
 func (o Options) prewarm(jobs []runner.Job) {
-	if _, err := o.runner().Sweep(jobs); err != nil {
+	if _, err := o.runner().Sweep(context.Background(), jobs); err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 }
@@ -167,7 +168,7 @@ func bestRun(o Options, sys accel.System, kernel, ds string) *core.Result {
 // bestRunMem is bestRun with an explicit memory configuration (zero value:
 // the DDR4-2400 x16 default).
 func bestRunMem(o Options, sys accel.System, kernel, ds string, mem dram.Config) *core.Result {
-	results, err := o.runner().Sweep(o.bestJobs(sys, kernel, ds, mem))
+	results, err := o.runner().Sweep(context.Background(), o.bestJobs(sys, kernel, ds, mem))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}

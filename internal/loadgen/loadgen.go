@@ -23,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,18 @@ type Config struct {
 	Seed int64
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+	// Retries is how many times a 429-shed request is retried before it
+	// counts as shed. Each retry waits the server's Retry-After if given,
+	// else RetryBackoff doubled per attempt, capped at MaxBackoff, plus up
+	// to 50% deterministic jitter (so synchronized clients do not retry in
+	// lockstep). 0 disables retries.
+	Retries      int
+	RetryBackoff time.Duration // base backoff (default 100ms)
+	MaxBackoff   time.Duration // backoff cap, applied after Retry-After too (default 5s)
+	// DeadlineMS, when > 0, stamps X-Deadline-Ms on every request so the
+	// server cancels work that outlives the client's patience; 504
+	// responses land in the "deadline" outcome bucket.
+	DeadlineMS int
 }
 
 // Result is one run's client-side view.
@@ -74,11 +87,19 @@ type Result struct {
 	// bottleneck and the tail is understated.
 	MaxLag time.Duration
 	// Overall/ByKind are latency distributions measured from scheduled
-	// arrival to response fully read.
+	// arrival to response fully read — accepted (2xx) requests only, so
+	// quantiles describe the latency of served work; fast rejections would
+	// otherwise drag the tail down exactly when the server is overloaded.
 	Overall *obs.HistSnapshot
 	ByKind  map[string]*obs.HistSnapshot
 	// StatusCodes counts responses by HTTP code (0 = transport error).
 	StatusCodes map[int]uint64
+	// Outcomes buckets every arrival's final disposition: "ok" (2xx),
+	// "shed" (429 after retries), "deadline" (504), "error" (transport
+	// failure or any other >= 400).
+	Outcomes map[string]uint64
+	// Retried counts retry attempts actually performed (not arrivals).
+	Retried uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -97,7 +118,67 @@ func (c Config) withDefaults() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
 	return c
+}
+
+// backoff computes the wait before retry number attempt (0-based): the
+// server's Retry-After seconds when parseable, else base doubled per
+// attempt, capped at max either way, plus up to 50% deterministic jitter
+// keyed on (request, attempt) so a fleet of identically-seeded clients
+// spreads out instead of re-stampeding on the same tick.
+func backoff(base, max time.Duration, attempt int, retryAfter string, key uint64) time.Duration {
+	d := base << uint(attempt)
+	if d <= 0 || d > max { // <= 0 catches shift overflow
+		d = max
+	}
+	if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+		d = time.Duration(s) * time.Second
+		if d > max {
+			d = max
+		}
+	}
+	// splitmix64-style scramble of the key for the jitter fraction.
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d + time.Duration(z%uint64(d/2+1))
+}
+
+// outcome classifies one arrival's final response.
+func outcome(code int, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case code == http.StatusTooManyRequests:
+		return "shed"
+	case code == http.StatusGatewayTimeout:
+		return "deadline"
+	case code >= 400:
+		return "error"
+	default:
+		return "ok"
+	}
+}
+
+// post issues one request with the loadgen's standard headers (content
+// type, optional X-Deadline-Ms deadline budget).
+func post(ctx context.Context, client *http.Client, cfg Config, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if cfg.DeadlineMS > 0 {
+		req.Header.Set("X-Deadline-Ms", strconv.Itoa(cfg.DeadlineMS))
+	}
+	return client.Do(req)
 }
 
 // probe asks the server for the graph's vertex count (one uncounted
@@ -192,8 +273,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	var (
 		mu        sync.Mutex
 		codes     = map[int]uint64{}
+		outcomes  = map[string]uint64{}
 		completed atomic.Uint64
 		errors    atomic.Uint64
+		retried   atomic.Uint64
 		maxLagNS  atomic.Int64
 		wg        sync.WaitGroup
 	)
@@ -216,30 +299,60 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			maxLagNS.Store(ns)
 		}
 		wg.Add(1)
-		go func() {
+		go func(reqIdx int) {
 			defer wg.Done()
 			scheduled := start.Add(r.due)
 			path := "/query"
 			if r.kind == "update" {
 				path = "/update"
 			}
-			resp, err := client.Post(cfg.BaseURL+path, "application/json", bytes.NewReader(r.body))
-			code := 0
-			if err == nil {
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				code = resp.StatusCode
+			var (
+				code int
+				err  error
+			)
+			for attempt := 0; ; attempt++ {
+				var resp *http.Response
+				resp, err = post(ctx, client, cfg, path, r.body)
+				retryAfter := ""
+				code = 0
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					retryAfter = resp.Header.Get("Retry-After")
+					resp.Body.Close()
+					code = resp.StatusCode
+				}
+				// Only a shed (429) is worth retrying: a 504 already spent
+				// its deadline and an error will not improve on replay.
+				if code != http.StatusTooManyRequests || attempt >= cfg.Retries {
+					break
+				}
+				retried.Add(1)
+				interrupted := false
+				select {
+				case <-time.After(backoff(cfg.RetryBackoff, cfg.MaxBackoff, attempt,
+					retryAfter, uint64(reqIdx)<<8|uint64(attempt))):
+				case <-ctx.Done():
+					interrupted = true
+				}
+				if interrupted {
+					break // record the 429 as the final word
+				}
 			}
-			// Latency from scheduled arrival to response fully read.
-			hists[r.kind].Observe(time.Since(scheduled).Nanoseconds())
+			out := outcome(code, err)
+			if out == "ok" {
+				// Latency from scheduled arrival to response fully read —
+				// backoff waits included, since the client really waited.
+				hists[r.kind].Observe(time.Since(scheduled).Nanoseconds())
+			}
 			completed.Add(1)
-			if err != nil || code >= 400 {
+			if out == "error" {
 				errors.Add(1)
 			}
 			mu.Lock()
 			codes[code]++
+			outcomes[out]++
 			mu.Unlock()
-		}()
+		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -248,10 +361,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Sent:        uint64(len(reqs)),
 		Completed:   completed.Load(),
 		Errors:      errors.Load(),
+		Retried:     retried.Load(),
 		Elapsed:     elapsed,
 		MaxLag:      time.Duration(maxLagNS.Load()),
 		ByKind:      map[string]*obs.HistSnapshot{},
 		StatusCodes: codes,
+		Outcomes:    outcomes,
 	}
 	if elapsed > 0 {
 		res.AchievedRate = float64(res.Completed) / elapsed.Seconds()
@@ -270,6 +385,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 func (r *Result) Report(w io.Writer) {
 	fmt.Fprintf(w, "sent %d, completed %d, errors %d in %.2fs (%.1f req/s achieved, max sched lag %v)\n",
 		r.Sent, r.Completed, r.Errors, r.Elapsed.Seconds(), r.AchievedRate, r.MaxLag.Round(time.Microsecond))
+	fmt.Fprintf(w, "outcomes: ok=%d shed=%d deadline=%d error=%d (retries performed: %d)\n",
+		r.Outcomes["ok"], r.Outcomes["shed"], r.Outcomes["deadline"], r.Outcomes["error"], r.Retried)
 	for _, kind := range []string{"query", "update"} {
 		snap := r.ByKind[kind]
 		if snap == nil || snap.Count == 0 {

@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServe answers the probe and then scripts each /query response by
+// per-request attempt count.
+func fakeServe(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	var probed atomic.Bool
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if probed.CompareAndSwap(false, true) { // first query is the vertex-count probe
+			json.NewEncoder(w).Encode(map[string]any{"vertices": 64})
+			return
+		}
+		handler(w, r)
+	})
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"version": 1})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func runCfg(ts *httptest.Server) Config {
+	return Config{
+		BaseURL:      ts.URL,
+		Rate:         200,
+		Duration:     50 * time.Millisecond,
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   4 * time.Millisecond,
+		DeadlineMS:   250,
+	}
+}
+
+// TestRetryAfterBackoff: a server that sheds the first two responses with
+// Retry-After must still end with every arrival "ok" — the generator
+// retried past the sheds (each request has 3 retries, and only 2 sheds
+// exist, so success is guaranteed, not timing-dependent) — and the retry
+// count is visible.
+func TestRetryAfterBackoff(t *testing.T) {
+	var n atomic.Int64
+	ts := fakeServe(t, func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1") // 1s, capped by MaxBackoff to 4ms
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		if r.Header.Get("X-Deadline-Ms") != "250" {
+			t.Error("deadline header not propagated")
+		}
+		json.NewEncoder(w).Encode(map[string]any{"vertices": 64})
+	})
+	res, err := Run(context.Background(), runCfg(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes["ok"] != res.Sent || res.Outcomes["shed"] != 0 {
+		t.Fatalf("outcomes = %v, want all %d ok", res.Outcomes, res.Sent)
+	}
+	if res.Retried == 0 {
+		t.Fatal("no retries recorded despite shed responses")
+	}
+	if res.Overall.Count != res.Outcomes["ok"] {
+		t.Fatalf("latency histogram has %d samples, want %d (2xx only)", res.Overall.Count, res.Outcomes["ok"])
+	}
+}
+
+// TestShedAndDeadlineBuckets: exhausted retries land in "shed", 504s in
+// "deadline", and neither pollutes the accepted-latency histogram.
+func TestShedAndDeadlineBuckets(t *testing.T) {
+	var n atomic.Int64
+	ts := fakeServe(t, func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			w.WriteHeader(http.StatusGatewayTimeout)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	cfg := runCfg(ts)
+	cfg.Retries = 1
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes["ok"] != 0 {
+		t.Fatalf("outcomes = %v, want none ok", res.Outcomes)
+	}
+	if res.Outcomes["shed"] == 0 || res.Outcomes["deadline"] == 0 {
+		t.Fatalf("outcomes = %v, want both shed and deadline buckets populated", res.Outcomes)
+	}
+	if res.Outcomes["shed"]+res.Outcomes["deadline"]+res.Outcomes["error"] != res.Sent {
+		t.Fatalf("outcomes = %v do not sum to sent %d", res.Outcomes, res.Sent)
+	}
+	if res.Overall.Count != 0 {
+		t.Fatalf("rejected requests leaked %d samples into the latency histogram", res.Overall.Count)
+	}
+}
+
+// TestBackoffBounds pins the schedule: exponential growth from base,
+// Retry-After override, the cap applying to both, and jitter staying
+// within +50%.
+func TestBackoffBounds(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	for attempt := 0; attempt < 10; attempt++ {
+		for key := uint64(0); key < 50; key++ {
+			d := backoff(base, max, attempt, "", key)
+			want := base << uint(attempt)
+			if want <= 0 || want > max {
+				want = max
+			}
+			if d < want || d > want+want/2 {
+				t.Fatalf("attempt %d key %d: backoff %v outside [%v, %v]", attempt, key, d, want, want+want/2)
+			}
+		}
+	}
+	// Retry-After wins over the exponential schedule, but not over the cap.
+	if d := backoff(base, time.Minute, 0, "2", 1); d < 2*time.Second || d > 3*time.Second {
+		t.Fatalf("Retry-After 2s gave %v", d)
+	}
+	if d := backoff(base, max, 0, "2", 1); d > max+max/2 {
+		t.Fatalf("capped Retry-After gave %v, want <= %v", d, max+max/2)
+	}
+	// Unparseable Retry-After falls back to the exponential schedule.
+	if d := backoff(base, max, 0, "soon", 1); d < base || d > base+base/2 {
+		t.Fatalf("bad Retry-After gave %v", d)
+	}
+}
+
+// TestOutcomeClassification pins the bucket mapping.
+func TestOutcomeClassification(t *testing.T) {
+	cases := []struct {
+		code int
+		err  error
+		want string
+	}{
+		{200, nil, "ok"},
+		{204, nil, "ok"},
+		{429, nil, "shed"},
+		{504, nil, "deadline"},
+		{400, nil, "error"},
+		{500, nil, "error"},
+		{0, context.DeadlineExceeded, "error"},
+	}
+	for _, c := range cases {
+		if got := outcome(c.code, c.err); got != c.want {
+			t.Errorf("outcome(%d, %v) = %q, want %q", c.code, c.err, got, c.want)
+		}
+	}
+}

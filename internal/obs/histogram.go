@@ -110,6 +110,45 @@ func (s *HistSnapshot) Merge(other *HistSnapshot) {
 	s.Sum += other.Sum
 }
 
+// Sub returns the distribution of observations recorded after prev was
+// taken: s minus prev, bucket-wise. Both snapshots must come from the
+// same (or merged-identically) histograms, with prev the earlier one;
+// counts only grow, so element-wise saturating subtraction is exact.
+// This turns cumulative histograms into windowed ones — the admission
+// controller's "p99 over the last window" is Sub of two scrapes, not a
+// quantile of the process lifetime. Either side may be empty; s is not
+// modified.
+func (s *HistSnapshot) Sub(prev *HistSnapshot) *HistSnapshot {
+	out := &HistSnapshot{}
+	if s == nil || s.Count == 0 && s.Sum == 0 {
+		return out
+	}
+	out.Counts = make([]uint64, nBuckets)
+	copy(out.Counts, s.Counts)
+	out.Count, out.Sum = s.Count, s.Sum
+	if prev == nil {
+		return out
+	}
+	for i, c := range prev.Counts {
+		if out.Counts[i] >= c {
+			out.Counts[i] -= c
+		} else {
+			out.Counts[i] = 0
+		}
+	}
+	if out.Count >= prev.Count {
+		out.Count -= prev.Count
+	} else {
+		out.Count = 0
+	}
+	if out.Sum >= prev.Sum {
+		out.Sum -= prev.Sum
+	} else {
+		out.Sum = 0
+	}
+	return out
+}
+
 // Quantile returns the q-quantile (0 < q ≤ 1) in nanoseconds: the upper
 // bound of the bucket containing the ceil(q×Count)-th smallest
 // observation, i.e. within one bucket width (~3.2% relative) above the

@@ -240,3 +240,40 @@ func TestTraceRecorder(t *testing.T) {
 		t.Error("nil trace not inert")
 	}
 }
+
+// TestSnapshotSub pins the windowed-delta algebra the admission
+// controller builds on: Sub(prev) isolates exactly the observations
+// recorded between two snapshots, leaves its receiver untouched, and
+// handles empty sides.
+func TestSnapshotSub(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(1_000_000) // 1ms
+	}
+	s1 := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(64_000_000) // 64ms — a distinctly slower window
+	}
+	s2 := h.Snapshot()
+
+	delta := s2.Sub(s1)
+	if delta.Count != 50 {
+		t.Fatalf("delta count = %d, want 50", delta.Count)
+	}
+	if got, want := float64(delta.Quantile(0.99)), 64e6; math.Abs(got-want)/want > relErrBound {
+		t.Fatalf("delta p99 = %g, want ~%g: old window leaked in", got, want)
+	}
+	if got, want := float64(s2.Quantile(0.50)), 1e6; math.Abs(got-want)/want > relErrBound {
+		t.Fatalf("Sub mutated its receiver: cumulative p50 = %g, want ~%g", got, want)
+	}
+	if s2.Sub(nil).Count != s2.Count {
+		t.Fatalf("Sub(nil) lost observations")
+	}
+	if d := s2.Sub(s2); d.Count != 0 || d.Sum != 0 {
+		t.Fatalf("Sub(self) = %d/%d, want empty", d.Count, d.Sum)
+	}
+	var empty HistSnapshot
+	if d := empty.Sub(s2); d.Count != 0 {
+		t.Fatalf("empty.Sub = %d, want 0 (saturating)", d.Count)
+	}
+}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,12 +22,12 @@ func BenchmarkSweepCached(b *testing.B) {
 			Kernel: "bfs", Scale: graph.ScaleTiny, MaxIters: 1 + i%2, Src: -1,
 		}}
 	}
-	if _, err := r.Sweep(jobs); err != nil { // warm: simulate the 2 distinct cells
+	if _, err := r.Sweep(context.Background(), jobs); err != nil { // warm: simulate the 2 distinct cells
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Sweep(jobs); err != nil {
+		if _, err := r.Sweep(context.Background(), jobs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -38,12 +39,12 @@ func BenchmarkSweepCached(b *testing.B) {
 func BenchmarkQueryCached(b *testing.B) {
 	r := New(2)
 	q := Query{Dataset: "UU", Kernel: "cc", Scale: graph.ScaleTiny, Src: -1}
-	if _, err := r.RunQuery(q); err != nil { // warm: one real execution
+	if _, err := r.RunQuery(context.Background(), q); err != nil { // warm: one real execution
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.RunQuery(q); err != nil {
+		if _, err := r.RunQuery(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -68,7 +69,7 @@ func BenchmarkApplyUpdatesRunner(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.ApplyUpdates("UU", graph.ScaleTiny, updates); err != nil {
+		if _, err := r.ApplyUpdates(context.Background(), "UU", graph.ScaleTiny, updates); err != nil {
 			b.Fatal(err)
 		}
 	}

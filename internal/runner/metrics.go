@@ -17,9 +17,9 @@ import (
 // Inventory owned by this file:
 //
 //	piccolo_run_seconds                  histogram  /run-path submission latency
-//	piccolo_run_total{outcome}           counter    hit|wait|exec|error
+//	piccolo_run_total{outcome}           counter    hit|wait|exec|error|canceled
 //	piccolo_query_seconds                histogram  query submission latency
-//	piccolo_query_total{mode}            counter    cached|wait|engine|incremental|full|error
+//	piccolo_query_total{mode}            counter    cached|wait|engine|incremental|full|error|canceled
 //	piccolo_update_seconds               histogram  update-batch apply latency
 //	piccolo_update_total{outcome}        counter    ok|error
 //	piccolo_cache_hits_total{cache}      counter    sim|query (bridged)
@@ -65,11 +65,11 @@ func newRunnerMetrics(r *Runner) *runnerMetrics {
 		updateErr: reg.Counter("piccolo_update_total",
 			"Update batches by outcome.", obs.L("outcome", "error")),
 	}
-	for _, o := range []string{"hit", "wait", "exec", "error"} {
+	for _, o := range []string{"hit", "wait", "exec", "error", "canceled"} {
 		m.runOutcome[o] = reg.Counter("piccolo_run_total",
 			"Simulation submissions by serving outcome.", obs.L("outcome", o))
 	}
-	for _, mode := range []string{"cached", "wait", "engine", "incremental", "full", "error"} {
+	for _, mode := range []string{"cached", "wait", "engine", "incremental", "full", "error", "canceled"} {
 		m.queryMode[mode] = reg.Counter("piccolo_query_total",
 			"Functional queries by serving mode.", obs.L("mode", mode))
 	}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -108,26 +109,39 @@ type queryEntry struct {
 // a fresh query runs on the parallel engine — the static per-graph engine
 // for a never-updated dataset, the streaming DynamicEngine (incremental
 // repair with full-run fallback) once updates have been applied.
-func (r *Runner) RunQuery(q Query) (*algorithms.ReferenceResult, error) {
-	res, _, err := r.RunQueryInfo(q)
+//
+// Cancellation is cooperative end to end: the context is honored while
+// queuing for a worker slot, while waiting on an identical in-flight
+// query, and — through engine.RunCtx / stream.QueryTracedCtx — at every
+// superstep or repair-round boundary of the execution itself. On
+// cancellation the error is ctx.Err() and the returned result, when
+// non-nil, carries partial-progress stats only (Iterations/EdgeVisits with
+// nil Prop — piccolo-serve surfaces them in its 504 body). A canceled
+// execution stores nothing, and single-flight waiters never inherit a
+// leader's context error: they retry the lookup with their own budget.
+func (r *Runner) RunQuery(ctx context.Context, q Query) (*algorithms.ReferenceResult, error) {
+	res, _, err := r.RunQueryInfo(ctx, q)
 	return res, err
 }
 
 // RunQueryInfo is RunQuery plus serving metadata: the versioned cache key,
 // the graph version the result reflects, and which execution path served
 // it.
-func (r *Runner) RunQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, error) {
+func (r *Runner) RunQueryInfo(ctx context.Context, q Query) (*algorithms.ReferenceResult, QueryInfo, error) {
 	start := time.Now()
-	res, info, err := r.runQueryInfo(q)
+	res, info, err := r.runQueryInfo(ctx, q)
 	mode := info.Mode
 	if err != nil {
 		mode = "error"
+		if ctxErr(err) {
+			mode = "canceled"
+		}
 	}
 	r.metrics.observeQuery(mode, start)
 	return res, info, err
 }
 
-func (r *Runner) runQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, error) {
+func (r *Runner) runQueryInfo(ctx context.Context, q Query) (*algorithms.ReferenceResult, QueryInfo, error) {
 	// Build (or fetch) the graph first: it resolves dataset errors before
 	// anything is cached, and CanonicalFor collapses every out-of-range
 	// Src onto the default so aliases share one cache entry.
@@ -136,58 +150,72 @@ func (r *Runner) runQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, 
 		return nil, QueryInfo{}, err
 	}
 	q = q.CanonicalFor(g)
-	d := r.streams.peek(q.Dataset, q.Scale)
-	q.Version = 0
-	if d != nil {
-		q.Version = d.Version()
-	}
-	key := q.Key()
-	info := QueryInfo{Key: key, Version: q.Version, Mode: "cached"}
-	entry, c, leader := r.queries.lookup(key)
-	if c == nil {
-		info.Version, info.Edges = entry.version, entry.edges
-		return entry.res, info, nil // cache hit
-	}
-	if !leader {
-		<-c.done // identical query already in flight
-		if c.err == nil {
-			// The leader's entry carries the state it actually executed
-			// at — which may be newer than the keyed version if an update
-			// raced in; report that, not the snapshot.
-			info.Version, info.Edges = c.res.version, c.res.edges
+	// The loop re-enters the lookup when a wait ended with the *leader's*
+	// context error: that leader's deadline says nothing about this
+	// caller's budget, so the waiter retries as a potential leader (its own
+	// expiry is checked in the select). Each retry re-snapshots the version
+	// — it may have moved while waiting.
+	for {
+		d := r.streams.peek(q.Dataset, q.Scale)
+		q.Version = 0
+		if d != nil {
+			q.Version = d.Version()
 		}
-		return c.res.res, info, c.err
-	}
-	var entryOut queryEntry
-	if d == nil {
-		info.Mode = "engine"
-		info.Edges = g.E()
-		res, err := r.execQuery(q, g, nil)
-		entryOut = queryEntry{res: res, version: 0, edges: g.E()}
-		r.queries.complete(key, c, entryOut, err, err == nil)
-		if err == nil {
+		key := q.Key()
+		info := QueryInfo{Key: key, Version: q.Version, Mode: "cached"}
+		entry, c, leader := r.queries.lookup(key)
+		if c == nil {
+			info.Version, info.Edges = entry.version, entry.edges
+			return entry.res, info, nil // cache hit
+		}
+		if !leader {
+			select {
+			case <-c.done: // identical query already in flight
+			case <-ctx.Done():
+				return nil, info, ctx.Err()
+			}
+			if c.err != nil && ctxErr(c.err) {
+				continue // leader's deadline, not ours: retry for leadership
+			}
+			if c.err == nil {
+				// The leader's entry carries the state it actually executed
+				// at — which may be newer than the keyed version if an update
+				// raced in; report that, not the snapshot.
+				info.Version, info.Edges = c.res.version, c.res.edges
+			}
+			return c.res.res, info, c.err
+		}
+		var entryOut queryEntry
+		if d == nil {
+			info.Mode = "engine"
+			info.Edges = g.E()
+			res, err := r.execQuery(ctx, q, g, nil)
+			entryOut = queryEntry{res: res, version: 0, edges: g.E()}
+			r.queries.complete(key, c, entryOut, err, err == nil)
+			if err == nil {
+				r.queryKeys.add(streamKey(q.Dataset, q.Scale), key)
+			}
+			return res, info, err
+		}
+		res, sinfo, err := r.execDynamicQuery(ctx, q, d, nil)
+		entryOut = queryEntry{res: res, version: sinfo.Version, edges: sinfo.Edges}
+		// An update may have landed between the version snapshot and the
+		// execution; the dynamic engine reports the version it actually ran
+		// at. Serving the newer result is fine (the query raced the update),
+		// but it must not be stored under the older version's key — waiters
+		// still learn the true version from the entry.
+		store := err == nil && sinfo.Version == q.Version
+		r.queries.complete(key, c, entryOut, err, store)
+		if store {
 			r.queryKeys.add(streamKey(q.Dataset, q.Scale), key)
+		}
+		if err == nil {
+			info.Version = sinfo.Version
+			info.Edges = sinfo.Edges
+			info.Mode = sinfo.Mode
 		}
 		return res, info, err
 	}
-	res, sinfo, err := r.execDynamicQuery(q, d, nil)
-	entryOut = queryEntry{res: res, version: sinfo.Version, edges: sinfo.Edges}
-	// An update may have landed between the version snapshot and the
-	// execution; the dynamic engine reports the version it actually ran
-	// at. Serving the newer result is fine (the query raced the update),
-	// but it must not be stored under the older version's key — waiters
-	// still learn the true version from the entry.
-	store := err == nil && sinfo.Version == q.Version
-	r.queries.complete(key, c, entryOut, err, store)
-	if store {
-		r.queryKeys.add(streamKey(q.Dataset, q.Scale), key)
-	}
-	if err == nil {
-		info.Version = sinfo.Version
-		info.Edges = sinfo.Edges
-		info.Mode = sinfo.Mode
-	}
-	return res, info, err
 }
 
 // RunQueryTraced executes q with a span recorder attached and returns the
@@ -197,7 +225,7 @@ func (r *Runner) runQueryInfo(q Query) (*algorithms.ReferenceResult, QueryInfo, 
 // cached result has no execution to trace — so this is the debugging
 // path, not the serving path; it still counts in the query metrics under
 // its execution mode.
-func (r *Runner) RunQueryTraced(q Query) (*algorithms.ReferenceResult, QueryInfo, *obs.Trace, error) {
+func (r *Runner) RunQueryTraced(ctx context.Context, q Query) (*algorithms.ReferenceResult, QueryInfo, *obs.Trace, error) {
 	start := time.Now()
 	g, err := r.graphs.get(q.Dataset, q.Scale)
 	if err != nil {
@@ -212,21 +240,28 @@ func (r *Runner) RunQueryTraced(q Query) (*algorithms.ReferenceResult, QueryInfo
 	}
 	tr := obs.NewTrace()
 	info := QueryInfo{Key: q.Key(), Version: q.Version}
+	observeErr := func(err error) {
+		if ctxErr(err) {
+			r.metrics.observeQuery("canceled", start)
+		} else {
+			r.metrics.observeQuery("error", start)
+		}
+	}
 	if d == nil {
 		info.Mode = "engine"
 		info.Edges = g.E()
-		res, err := r.execQuery(q, g, tr)
+		res, err := r.execQuery(ctx, q, g, tr)
 		if err != nil {
-			r.metrics.observeQuery("error", start)
-			return nil, info, nil, err
+			observeErr(err)
+			return res, info, nil, err
 		}
 		r.metrics.observeQuery(info.Mode, start)
 		return res, info, tr, nil
 	}
-	res, sinfo, err := r.execDynamicQuery(q, d, tr)
+	res, sinfo, err := r.execDynamicQuery(ctx, q, d, tr)
 	if err != nil {
-		r.metrics.observeQuery("error", start)
-		return nil, info, nil, err
+		observeErr(err)
+		return res, info, nil, err
 	}
 	info.Version, info.Edges, info.Mode = sinfo.Version, sinfo.Edges, sinfo.Mode
 	r.metrics.observeQuery(info.Mode, start)
@@ -241,8 +276,11 @@ func (r *Runner) RunQueryTraced(q Query) (*algorithms.ReferenceResult, QueryInfo
 // many single-threaded simulations or a few parallel queries — the width
 // never changes the result bits. Panics are converted to errors for the
 // same reason as in exec. A non-nil tr is attached to the engine for this
-// run only, under the entry mutex.
-func (r *Runner) execQuery(q Query, g *graph.CSR, tr *obs.Trace) (res *algorithms.ReferenceResult, err error) {
+// run only, under the entry mutex. Cancellation is checked while queuing
+// for the mandatory slot and then at every superstep boundary inside
+// RunCtx; the wait on the entry mutex itself is not cancelable, but the
+// run holding it is, so the wait is bounded by that run's own budget.
+func (r *Runner) execQuery(ctx context.Context, q Query, g *graph.CSR, tr *obs.Trace) (res *algorithms.ReferenceResult, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			// Drop the memoized engine: a panic mid-run can leave it with
@@ -269,7 +307,11 @@ func (r *Runner) execQuery(q Query, g *graph.CSR, tr *obs.Trace) (res *algorithm
 		e.eng.SetTrace(tr)
 		defer e.eng.SetTrace(nil)
 	}
-	r.sem <- struct{}{}
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	slots := 1
 	for slots < r.workers {
 		select {
@@ -286,7 +328,7 @@ func (r *Runner) execQuery(q Query, g *graph.CSR, tr *obs.Trace) (res *algorithm
 		}
 	}()
 	e.eng.SetWorkers(slots)
-	return e.eng.Run(k, src, q.MaxIters), nil
+	return e.eng.RunCtx(ctx, k, src, q.MaxIters)
 }
 
 // execDynamicQuery serves a query on an updated graph through its
@@ -295,15 +337,21 @@ func (r *Runner) execQuery(q Query, g *graph.CSR, tr *obs.Trace) (res *algorithm
 // parallelism (incremental repairs are single-threaded and cheap — the
 // width only matters when the repair falls back to a full run). Width
 // never changes the result bits. A non-nil tr records this execution's
-// spans (stream.DynamicEngine.QueryTraced).
-func (r *Runner) execDynamicQuery(q Query, d *stream.DynamicEngine, tr *obs.Trace) (res *algorithms.ReferenceResult, info stream.QueryInfo, err error) {
+// spans (stream.DynamicEngine.QueryTraced). Cancellation is checked while
+// queuing for the mandatory slot and then at the repair-round/superstep
+// boundaries inside QueryTracedCtx.
+func (r *Runner) execDynamicQuery(ctx context.Context, q Query, d *stream.DynamicEngine, tr *obs.Trace) (res *algorithms.ReferenceResult, info stream.QueryInfo, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("runner: query %s on %s panicked: %v",
 				q.Kernel, q.Dataset, p)
 		}
 	}()
-	r.sem <- struct{}{}
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, info, ctx.Err()
+	}
 	slots := 1
 	for slots < r.workers {
 		select {
@@ -320,7 +368,7 @@ func (r *Runner) execDynamicQuery(q Query, d *stream.DynamicEngine, tr *obs.Trac
 		}
 	}()
 	d.SetWorkers(slots)
-	return d.QueryTraced(q.Kernel, q.Src, q.MaxIters, tr)
+	return d.QueryTracedCtx(ctx, q.Kernel, q.Src, q.MaxIters, tr)
 }
 
 // QueryStats returns a snapshot of the query cache's counters (simulation

@@ -16,6 +16,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -75,6 +77,9 @@ type Runner struct {
 	// queryKeys maps each graph to the query-cache keys stored for it, so
 	// ApplyUpdates can evict exactly the updated graph's entries.
 	queryKeys queryKeyIndex
+	// wal, when non-nil, write-ahead-logs every acknowledged update batch
+	// (EnableWAL, wal.go).
+	wal *walManager
 	// metrics is the runner's obs registry plus pre-registered handles for
 	// the per-request series (metrics.go); always non-nil.
 	metrics *runnerMetrics
@@ -122,28 +127,62 @@ func (r *Runner) ResetCache() {
 // immediately, a duplicate of an in-flight job waits for it, and a fresh
 // job occupies a worker slot. Run may be called from any number of
 // goroutines; the pool bounds only the simulations themselves.
-func (r *Runner) Run(job Job) (*core.Result, error) {
+//
+// The context covers the queue, not the simulation: cancellation is
+// honored while waiting for a worker slot or for an identical in-flight
+// job, but a simulation that has started runs to completion (core.Run has
+// no superstep boundaries to check — unlike engine queries, which cancel
+// cooperatively). A waiter whose leader failed with the *leader's* context
+// error does not inherit it: it retries the lookup as a potential leader,
+// so one caller's deadline can never poison an identical request that
+// still has budget (ctxErr / the retry loop).
+func (r *Runner) Run(ctx context.Context, job Job) (*core.Result, error) {
 	start := time.Now()
-	res, c, leader := r.results.lookup(job.Key())
-	if c == nil {
-		r.metrics.observeRun("hit", start)
-		return res, nil // cache hit
+	key := job.Key()
+	for {
+		res, c, leader := r.results.lookup(key)
+		if c == nil {
+			r.metrics.observeRun("hit", start)
+			return res, nil // cache hit
+		}
+		if !leader {
+			select {
+			case <-c.done: // identical job already in flight
+			case <-ctx.Done():
+				r.metrics.observeRun("canceled", start)
+				return nil, ctx.Err()
+			}
+			if c.err != nil && ctxErr(c.err) {
+				continue // leader's deadline, not ours: retry for leadership
+			}
+			r.metrics.observeRun("wait", start)
+			return c.res, c.err
+		}
+		select {
+		case r.sem <- struct{}{}:
+		case <-ctx.Done():
+			err := ctx.Err()
+			r.results.complete(key, c, nil, err, false)
+			r.metrics.observeRun("canceled", start)
+			return nil, err
+		}
+		res, err := r.exec(job)
+		<-r.sem
+		r.results.complete(key, c, res, err, true)
+		if err != nil {
+			r.metrics.observeRun("error", start)
+		} else {
+			r.metrics.observeRun("exec", start)
+		}
+		return res, err
 	}
-	if !leader {
-		<-c.done // identical job already in flight
-		r.metrics.observeRun("wait", start)
-		return c.res, c.err
-	}
-	r.sem <- struct{}{}
-	res, err := r.exec(job)
-	<-r.sem
-	r.results.complete(job.Key(), c, res, err, true)
-	if err != nil {
-		r.metrics.observeRun("error", start)
-	} else {
-		r.metrics.observeRun("exec", start)
-	}
-	return res, err
+}
+
+// ctxErr reports whether err is (or wraps) a context cancellation or
+// deadline expiry — the error class a single-flight waiter must not
+// inherit from its leader.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // exec builds (or fetches) the graph and runs the simulation. A panic in
@@ -167,10 +206,11 @@ func (r *Runner) exec(job Job) (res *core.Result, err error) {
 
 // Sweep executes every job, at most Workers() at a time, and returns
 // results in submission order. Duplicate jobs within the batch (and
-// against the cache) are executed once. The first error aborts nothing —
-// every job still completes — but Sweep reports it; results[i] is nil
-// exactly when jobs[i] failed.
-func (r *Runner) Sweep(jobs []Job) ([]*core.Result, error) {
+// against the cache) are executed once. A canceled context stops queued
+// jobs from starting (running simulations finish); the first error aborts
+// nothing else — every job still completes or fails — but Sweep reports
+// it; results[i] is nil exactly when jobs[i] failed.
+func (r *Runner) Sweep(ctx context.Context, jobs []Job) ([]*core.Result, error) {
 	results := make([]*core.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -178,7 +218,7 @@ func (r *Runner) Sweep(jobs []Job) ([]*core.Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.Run(jobs[i])
+			results[i], errs[i] = r.Run(ctx, jobs[i])
 		}(i)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -43,12 +44,12 @@ func fp(r *core.Result) fingerprint {
 
 func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	jobs := tinyJobs()
-	seq, err := New(1).Sweep(jobs)
+	seq, err := New(1).Sweep(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4} {
-		par, err := New(workers).Sweep(jobs)
+		par, err := New(workers).Sweep(context.Background(), jobs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,11 +67,11 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 func TestSweepRepeatIdentical(t *testing.T) {
 	r := New(4)
 	jobs := tinyJobs()
-	a, err := r.Sweep(jobs)
+	a, err := r.Sweep(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Sweep(jobs)
+	b, err := r.Sweep(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestCacheCounters(t *testing.T) {
 	for _, j := range jobs {
 		unique[j.Key()] = true
 	}
-	if _, err := r.Sweep(jobs); err != nil {
+	if _, err := r.Sweep(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	s := r.Stats()
@@ -98,7 +99,7 @@ func TestCacheCounters(t *testing.T) {
 	if s.Hits+s.Misses != uint64(len(jobs)) {
 		t.Errorf("hits+misses = %d, want %d", s.Hits+s.Misses, len(jobs))
 	}
-	if _, err := r.Sweep(jobs); err != nil {
+	if _, err := r.Sweep(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	s2 := r.Stats()
@@ -119,7 +120,7 @@ func TestCacheCounters(t *testing.T) {
 func TestConcurrentSubmissions(t *testing.T) {
 	r := New(4)
 	jobs := tinyJobs()
-	want, err := New(1).Sweep(jobs)
+	want, err := New(1).Sweep(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestConcurrentSubmissions(t *testing.T) {
 			defer wg.Done()
 			for i := range jobs {
 				j := jobs[(i+g)%len(jobs)] // staggered order per goroutine
-				res, err := r.Run(j)
+				res, err := r.Run(context.Background(), j)
 				if err != nil {
 					errs <- err
 					return
@@ -180,13 +181,13 @@ func TestKeyCanonical(t *testing.T) {
 
 func TestErrorsPropagate(t *testing.T) {
 	r := New(1)
-	if _, err := r.Run(Job{Dataset: "SW", Config: core.Config{Kernel: "nope", Src: -1}}); err == nil {
+	if _, err := r.Run(context.Background(), Job{Dataset: "SW", Config: core.Config{Kernel: "nope", Src: -1}}); err == nil {
 		t.Error("unknown kernel accepted")
 	}
-	if _, err := r.Run(Job{Dataset: "NOPE", Config: core.Config{Kernel: "bfs", Src: -1}}); err == nil {
+	if _, err := r.Run(context.Background(), Job{Dataset: "NOPE", Config: core.Config{Kernel: "bfs", Src: -1}}); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if _, err := r.Sweep([]Job{{Dataset: "NOPE", Config: core.Config{Kernel: "bfs", Src: -1}}}); err == nil {
+	if _, err := r.Sweep(context.Background(), []Job{{Dataset: "NOPE", Config: core.Config{Kernel: "bfs", Src: -1}}}); err == nil {
 		t.Error("sweep swallowed the error")
 	}
 }
@@ -200,11 +201,11 @@ func TestPanicBecomesError(t *testing.T) {
 		System: accel.Piccolo, Kernel: "pr", Scale: graph.ScaleTiny,
 		MaxIters: 2, StreamDepth: -2, Src: -1, // engine panics on this
 	}}
-	if _, err := r.Run(bad); err == nil {
+	if _, err := r.Run(context.Background(), bad); err == nil {
 		t.Fatal("panicking job returned no error")
 	}
 	done := make(chan error, 1)
-	go func() { _, err := r.Run(bad); done <- err }()
+	go func() { _, err := r.Run(context.Background(), bad); done <- err }()
 	select {
 	case err := <-done:
 		if err == nil {
@@ -214,7 +215,7 @@ func TestPanicBecomesError(t *testing.T) {
 		t.Fatal("second submission hung on the failed in-flight call")
 	}
 	// The pool must still have its slots: a healthy sweep still runs.
-	if _, err := r.Sweep(tinyJobs()); err != nil {
+	if _, err := r.Sweep(context.Background(), tinyJobs()); err != nil {
 		t.Errorf("runner unusable after panic: %v", err)
 	}
 }
@@ -222,7 +223,7 @@ func TestPanicBecomesError(t *testing.T) {
 func TestResetCache(t *testing.T) {
 	r := New(2)
 	job := tinyJobs()[0]
-	a, err := r.Run(job)
+	a, err := r.Run(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestResetCache(t *testing.T) {
 	if s := r.Stats(); s.Hits != 0 || s.Misses != 0 {
 		t.Errorf("counters not zeroed: %+v", s)
 	}
-	b, err := r.Run(job)
+	b, err := r.Run(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -56,6 +57,20 @@ func (c *streamCache) getOrCreate(name string, sc graph.Scale, g *graph.CSR, wor
 	return d
 }
 
+// install registers a pre-built dynamic engine for (name, sc) — the WAL
+// recovery path, which rebuilds engines before any traffic. Installing
+// over an existing entry is a programming error (it would fork the
+// version history) and panics.
+func (c *streamCache) install(name string, sc graph.Scale, d *stream.DynamicEngine) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := streamKey(name, sc)
+	if c.m[key] != nil {
+		panic(fmt.Sprintf("runner: stream engine for %s already exists", key))
+	}
+	c.m[key] = d
+}
+
 // all snapshots the live dynamic engines (for stats aggregation).
 func (c *streamCache) all() []*stream.DynamicEngine {
 	c.mu.Lock()
@@ -73,15 +88,37 @@ func (c *streamCache) all() []*stream.DynamicEngine {
 // graph's stored query results (their keys encode the old version, so
 // they could never be hit again — eviction just reclaims them promptly)
 // while leaving every other graph's entries alone.
-func (r *Runner) ApplyUpdates(dataset string, sc graph.Scale, batch []stream.EdgeUpdate) (uint64, error) {
+//
+// The context gates admission only: a batch is either refused before
+// anything happens (context already done, WAL poisoned) or applied fully —
+// the apply itself is atomic and never abandoned mid-way, so cancellation
+// can never leave a half-applied batch. With the WAL enabled the version
+// is not returned until the batch's log record is fsync-durable (wal.go's
+// commit protocol); a crash loses at most batches whose callers never got
+// an acknowledgment.
+func (r *Runner) ApplyUpdates(ctx context.Context, dataset string, sc graph.Scale, batch []stream.EdgeUpdate) (uint64, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		r.metrics.observeUpdate(err, start)
+		return 0, err
+	}
 	g, err := r.graphs.get(dataset, sc)
 	if err != nil {
 		r.metrics.observeUpdate(err, start)
 		return 0, err
 	}
 	d := r.streams.getOrCreate(dataset, sc, g, r.workers)
-	ver, err := d.ApplyUpdates(batch)
+	var ver uint64
+	if r.wal != nil {
+		ws, werr := r.wal.state(dataset, sc)
+		if werr != nil {
+			r.metrics.observeUpdate(werr, start)
+			return 0, werr
+		}
+		ver, err = ws.commit(d, batch)
+	} else {
+		ver, err = d.ApplyUpdates(batch)
+	}
 	if err != nil {
 		r.metrics.observeUpdate(err, start)
 		return 0, err

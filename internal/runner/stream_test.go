@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"math/rand"
 	"slices"
 	"testing"
@@ -34,7 +35,7 @@ func TestApplyUpdatesDifferential(t *testing.T) {
 				}
 				edges = append(edges, graph.Edge{Src: batch[i].Src, Dst: batch[i].Dst, Weight: batch[i].Weight})
 			}
-			ver, err := r.ApplyUpdates("UU", graph.ScaleTiny, batch)
+			ver, err := r.ApplyUpdates(context.Background(), "UU", graph.ScaleTiny, batch)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -43,7 +44,7 @@ func TestApplyUpdatesDifferential(t *testing.T) {
 			}
 			refG := graph.FromEdges(base.Name, base.V, slices.Clone(edges))
 			for _, kernel := range []string{"pr", "bfs", "cc", "sssp", "sswp"} {
-				res, info, err := r.RunQueryInfo(Query{Dataset: "UU", Kernel: kernel, Scale: graph.ScaleTiny, Src: -1})
+				res, info, err := r.RunQueryInfo(context.Background(), Query{Dataset: "UU", Kernel: kernel, Scale: graph.ScaleTiny, Src: -1})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -78,13 +79,13 @@ func TestUpdateInvalidatesQueryCache(t *testing.T) {
 	r := New(2)
 	q := Query{Dataset: "UU", Kernel: "bfs", Scale: graph.ScaleTiny, Src: -1}
 	other := Query{Dataset: "SW", Kernel: "bfs", Scale: graph.ScaleTiny, Src: -1}
-	if _, _, err := r.RunQueryInfo(q); err != nil {
+	if _, _, err := r.RunQueryInfo(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.RunQueryInfo(other); err != nil {
+	if _, _, err := r.RunQueryInfo(context.Background(), other); err != nil {
 		t.Fatal(err)
 	}
-	_, info, err := r.RunQueryInfo(q)
+	_, info, err := r.RunQueryInfo(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,14 +93,14 @@ func TestUpdateInvalidatesQueryCache(t *testing.T) {
 		t.Fatalf("pre-update repeat: info = %+v, want cached at version 0", info)
 	}
 
-	if _, err := r.ApplyUpdates("UU", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 0, Dst: 1, Weight: 2}}); err != nil {
+	if _, err := r.ApplyUpdates(context.Background(), "UU", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 0, Dst: 1, Weight: 2}}); err != nil {
 		t.Fatal(err)
 	}
 	if st := r.QueryStats(); st.Invalidated != 1 {
 		t.Fatalf("invalidated = %d, want exactly the updated graph's entry", st.Invalidated)
 	}
 	before := r.QueryStats()
-	_, info, err = r.RunQueryInfo(q)
+	_, info, err = r.RunQueryInfo(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestUpdateInvalidatesQueryCache(t *testing.T) {
 		t.Fatalf("post-update query was not a cache miss: %+v -> %+v", before, after)
 	}
 	// The other graph's entry survived the targeted invalidation.
-	_, oinfo, err := r.RunQueryInfo(other)
+	_, oinfo, err := r.RunQueryInfo(context.Background(), other)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestCurrentGraph(t *testing.T) {
 	if v := r.GraphVersion("PP", graph.ScaleTiny); v != 0 {
 		t.Fatalf("fresh graph at version %d", v)
 	}
-	if _, err := r.ApplyUpdates("PP", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 1, Dst: 2, Weight: 9}}); err != nil {
+	if _, err := r.ApplyUpdates(context.Background(), "PP", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 1, Dst: 2, Weight: 9}}); err != nil {
 		t.Fatal(err)
 	}
 	cur, err := r.CurrentGraph("PP", graph.ScaleTiny)
@@ -156,13 +157,13 @@ func TestCurrentGraph(t *testing.T) {
 // nothing.
 func TestApplyUpdatesValidation(t *testing.T) {
 	r := New(1)
-	if _, err := r.ApplyUpdates("NOPE", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 0, Dst: 1, Weight: 1}}); err == nil {
+	if _, err := r.ApplyUpdates(context.Background(), "NOPE", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 0, Dst: 1, Weight: 1}}); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if _, err := r.ApplyUpdates("UU", graph.ScaleTiny, nil); err == nil {
+	if _, err := r.ApplyUpdates(context.Background(), "UU", graph.ScaleTiny, nil); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if _, err := r.ApplyUpdates("UU", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 1 << 30, Dst: 0, Weight: 1}}); err == nil {
+	if _, err := r.ApplyUpdates(context.Background(), "UU", graph.ScaleTiny, []stream.EdgeUpdate{{Src: 1 << 30, Dst: 0, Weight: 1}}); err == nil {
 		t.Error("out-of-range vertex accepted")
 	}
 	if v := r.GraphVersion("UU", graph.ScaleTiny); v != 0 {

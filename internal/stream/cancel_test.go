@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"sync/atomic"
+	"testing"
+
+	"piccolo/internal/algorithms"
+	"piccolo/internal/engine"
+	"piccolo/internal/graph"
+)
+
+// countdownCtx interrupts at exactly the n-th cancellation checkpoint
+// (repair worklist rounds and engine superstep boundaries both poll
+// Err()). Done() never fires — polling is the only signal.
+type countdownCtx struct {
+	context.Context
+	left  atomic.Int64
+	calls atomic.Int64
+}
+
+func newCountdown(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.left.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	c.calls.Add(1)
+	if c.left.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestQueryCtxCancelDeterminism interrupts dynamic-engine queries at every
+// checkpoint across the repair and full-run serving paths: each attempt
+// must end in a context error (no result cached, no kernel state kept) or
+// the full bit-identical result — and an uncanceled query immediately
+// after must always serve the full result, proving the canceled attempt
+// left no observable partial state (ISSUE 8: "ctx error XOR bit-identical
+// full result, never a third state").
+func TestQueryCtxCancelDeterminism(t *testing.T) {
+	base := testGraphs()[1] // power-law Kronecker: repairs and full runs both occur
+	rng := rand.New(rand.NewSource(41))
+	for _, kernel := range allKernels {
+		t.Run(kernel, func(t *testing.T) {
+			d := New(base, Config{Workers: 3})
+			edges := base.Edges()
+			for round := 0; round < 4; round++ {
+				batch := randomBatch(rng, base.V, 12)
+				if _, err := d.ApplyUpdates(batch); err != nil {
+					t.Fatal(err)
+				}
+				edges = append(edges, asEdges(batch)...)
+
+				// Reference on the materialized post-update graph.
+				refG := graph.FromEdges(base.Name, base.V, slices.Clone(edges))
+				k, err := algorithms.New(kernel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := uint32(0)
+				if kernel != "pr" && kernel != "cc" {
+					src = graph.HighestDegreeVertex(refG)
+				}
+				ref := algorithms.RunReference(refG, k, src, engine.DefaultMaxIters)
+
+				// Count checkpoints for this version's first (uncached) query
+				// by running it against a throwaway clone of the state: the
+				// simplest faithful clone is to cancel never and accept that
+				// the successful probe caches — so probe on attempt n after
+				// invalidating via the next round instead. Here we instead
+				// interrupt with growing budgets until one succeeds, which
+				// visits every prefix of the checkpoint sequence exactly as
+				// the probe-then-replay scheme would.
+				for n := int64(0); ; n++ {
+					ctx := newCountdown(n)
+					res, info, err := d.QueryCtx(ctx, kernel, -1, 0)
+					if err != nil {
+						if err != context.Canceled {
+							t.Fatalf("round %d n=%d: err = %v, want context.Canceled", round, n, err)
+						}
+						if res != nil && res.Prop != nil {
+							t.Fatalf("round %d n=%d: canceled query returned properties (mode %s)", round, n, info.Mode)
+						}
+						continue
+					}
+					// First success must be the full bit-identical result —
+					// and must have executed, not hit a cache a canceled
+					// attempt somehow populated.
+					if info.Mode == "cached" {
+						t.Fatalf("round %d n=%d: first success served from cache; a canceled attempt cached a result", round, n)
+					}
+					for v := range ref.Prop {
+						if res.Prop[v] != ref.Prop[v] {
+							t.Fatalf("round %d n=%d (%s): prop[%d] = %#x, reference %#x",
+								round, n, info.Mode, v, res.Prop[v], ref.Prop[v])
+						}
+					}
+					break
+				}
+				// And the state the interrupted attempts left behind still
+				// serves every later query correctly (checkQuery re-runs
+				// uncanceled and compares bit-for-bit).
+				checkQuery(t, d, refG, kernel)
+			}
+		})
+	}
+}

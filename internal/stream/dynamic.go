@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -152,6 +153,36 @@ func New(base *graph.CSR, cfg Config) *DynamicEngine {
 	return d
 }
 
+// NewRestored builds a DynamicEngine whose overlay resumes from a
+// WAL-recovered state (OpenWAL): the full insertion history since base, in
+// insertion order, at the version it reaches. Queries against the restored
+// engine return bits identical to the pre-crash engine at the same version:
+// the overlay materializes to the same CSR (Overlay.Restore), the monotone
+// kernels have unique fixed points on that graph, and pr always runs in
+// full on the materialized CSR — so none of the pre-crash engine's
+// incidental state (compactions, repair memos, replay log) affects any
+// result. The repair log restarts empty at the recovered version; the
+// first queries pay full runs and repairs resume from there.
+func NewRestored(base *graph.CSR, cfg Config, rec *Recovered) (*DynamicEngine, error) {
+	d := New(base, cfg)
+	if rec == nil || (rec.Version == 0 && len(rec.History) == 0) {
+		return d, nil
+	}
+	if err := d.ov.Restore(rec.History, rec.Version); err != nil {
+		return nil, err
+	}
+	d.logBase = rec.Version
+	threshold := d.compact
+	if threshold == 0 {
+		threshold = max(d.ov.Base().E()/4, 4096)
+	}
+	if d.ov.DeltaEdges() > threshold {
+		d.ov.Compact()
+		d.stats.Compactions++
+	}
+	return d, nil
+}
+
 // Version returns the current graph version (the number of applied
 // batches).
 func (d *DynamicEngine) Version() uint64 {
@@ -262,7 +293,12 @@ func (d *DynamicEngine) resolveSrc(kernel string, src int64) uint32 {
 // incremental serve that is the repair work, the measure of what streaming
 // saves.
 func (d *DynamicEngine) Query(kernel string, src int64, maxIters int) (*algorithms.ReferenceResult, QueryInfo, error) {
-	return d.QueryTraced(kernel, src, maxIters, nil)
+	return d.QueryTracedCtx(context.Background(), kernel, src, maxIters, nil)
+}
+
+// QueryCtx is Query with cooperative cancellation (QueryTracedCtx).
+func (d *DynamicEngine) QueryCtx(ctx context.Context, kernel string, src int64, maxIters int) (*algorithms.ReferenceResult, QueryInfo, error) {
+	return d.QueryTracedCtx(ctx, kernel, src, maxIters, nil)
 }
 
 // QueryTraced is Query with a span recorder attached for this execution
@@ -273,6 +309,21 @@ func (d *DynamicEngine) Query(kernel string, src int64, maxIters int) (*algorith
 // call, under the engine mutex, so concurrent queries cannot interleave
 // spans into the wrong trace.
 func (d *DynamicEngine) QueryTraced(kernel string, src int64, maxIters int, tr *obs.Trace) (*algorithms.ReferenceResult, QueryInfo, error) {
+	return d.QueryTracedCtx(context.Background(), kernel, src, maxIters, tr)
+}
+
+// QueryTracedCtx is QueryTraced with cooperative cancellation. The context
+// is checked at superstep boundaries of full engine runs and at worklist
+// round boundaries of incremental repairs; on cancellation it returns the
+// context error together with a partial-progress result (Iterations and
+// EdgeVisits for the work performed, Prop nil) and the engine's durable
+// state is exactly as if the query had never run: a canceled repair
+// discards its half-advanced fixed point the same way a fat abort does, and
+// a canceled full run stores nothing. A query that completes before a
+// boundary observes the cancellation returns the full result — cancel
+// yields either the context error or the bit-identical result, never a
+// third state (cancel_test.go).
+func (d *DynamicEngine) QueryTracedCtx(ctx context.Context, kernel string, src int64, maxIters int, tr *obs.Trace) (*algorithms.ReferenceResult, QueryInfo, error) {
 	k, err := algorithms.New(kernel)
 	if err != nil {
 		return nil, QueryInfo{}, err
@@ -304,7 +355,8 @@ func (d *DynamicEngine) QueryTraced(kernel string, src int64, maxIters int, tr *
 			}
 			if st.version >= d.logBase {
 				t0 := time.Now()
-				if res, touched, edges, ok := d.repair(k, kernel, st, cur); ok {
+				res, touched, edges, ok, rerr := d.repair(ctx, k, kernel, st, cur)
+				if ok {
 					d.stats.IncrementalRepairs++
 					info.Mode = "incremental"
 					info.RepairEdges = edges
@@ -316,19 +368,28 @@ func (d *DynamicEngine) QueryTraced(kernel string, src int64, maxIters int, tr *
 					})
 					return res, info, nil
 				}
-				// An aborted repair leaves st half-advanced: its values
-				// are valid bounds but no longer a fixed point of any
-				// version, so it must not seed a future repair.
+				// An aborted repair — fat or canceled — leaves st
+				// half-advanced: its values are valid bounds but no longer
+				// a fixed point of any version, so it must not seed a
+				// future repair.
 				delete(d.states, key)
+				if rerr != nil {
+					info.Mode = "incremental"
+					info.RepairEdges = edges
+					return res, info, rerr
+				}
 			}
 			// Out of log reach or fat: fall through to a full run, which
 			// replaces the state below.
 		}
 	}
 
-	res := d.fullRunTraced(k, s, maxIters, tr)
+	res, err := d.fullRunTracedCtx(ctx, k, s, maxIters, tr)
 	d.stats.FullRecomputes++
 	info.Mode = "full"
+	if err != nil {
+		return res, info, err
+	}
 	if repairable && res.Iterations < maxIters {
 		// Converged — a true fixed point, the only thing repair may start
 		// from. The state owns its own copy so later repairs cannot
@@ -345,16 +406,13 @@ func (d *DynamicEngine) QueryTraced(kernel string, src int64, maxIters int, tr *
 	return res, info, nil
 }
 
-// fullRun executes the kernel on the materialized graph with the memoized
-// parallel engine (rebuilt when the version moved).
-func (d *DynamicEngine) fullRun(k algorithms.Kernel, src uint32, maxIters int) *algorithms.ReferenceResult {
-	return d.fullRunTraced(k, src, maxIters, nil)
-}
-
-// fullRunTraced is fullRun with the recorder attached for this run only
+// fullRunTracedCtx executes the kernel on the materialized graph with the
+// memoized parallel engine (rebuilt when the version moved), with the
+// recorder attached for this run only
 // (the engine is private to d and every caller holds d.mu, so attaching
-// cannot race another run).
-func (d *DynamicEngine) fullRunTraced(k algorithms.Kernel, src uint32, maxIters int, tr *obs.Trace) *algorithms.ReferenceResult {
+// cannot race another run) and cancellation checked at the engine's
+// superstep boundaries.
+func (d *DynamicEngine) fullRunTracedCtx(ctx context.Context, k algorithms.Kernel, src uint32, maxIters int, tr *obs.Trace) (*algorithms.ReferenceResult, error) {
 	cur := d.ov.Version()
 	if d.eng == nil || d.engVer != cur {
 		d.eng = engine.New(d.ov.Materialized(), engine.Config{Workers: d.workers})
@@ -366,7 +424,7 @@ func (d *DynamicEngine) fullRunTraced(k algorithms.Kernel, src uint32, maxIters 
 		d.eng.SetTrace(tr)
 		defer d.eng.SetTrace(nil)
 	}
-	return d.eng.Run(k, src, maxIters)
+	return d.eng.RunCtx(ctx, k, src, maxIters)
 }
 
 // unusableProp returns the property value marking "this vertex has no
@@ -393,11 +451,16 @@ func unusableProp(kernel string) (uint64, bool) {
 // folds with a unique fixed point above the starting state, the quiesced
 // result is bit-identical to a from-scratch reference run on the
 // materialized graph. Returns ok=false when the visited-edge budget
-// (FatFraction × E) is exceeded; the half-advanced state is still a valid
-// over-approximation but the caller discards it for a full run. The
-// returned touched count is the touched-set size: distinct worklist
-// enqueues, i.e. vertices whose property the repair improved.
-func (d *DynamicEngine) repair(k algorithms.Kernel, kernel string, st *kernelState, cur uint64) (*algorithms.ReferenceResult, uint64, uint64, bool) {
+// (FatFraction × E) is exceeded — the half-advanced state is still a valid
+// over-approximation but the caller discards it for a full run — or when
+// the context is canceled, checked once per worklist round (the
+// worklist-drain boundary); a canceled repair additionally returns the
+// context error and a partial-progress result (rounds and edge visits, no
+// properties), and the caller discards the state exactly like a fat abort,
+// so cancellation leaves nothing half-advanced observable. The returned
+// touched count is the touched-set size: distinct worklist enqueues, i.e.
+// vertices whose property the repair improved.
+func (d *DynamicEngine) repair(ctx context.Context, k algorithms.Kernel, kernel string, st *kernelState, cur uint64) (*algorithms.ReferenceResult, uint64, uint64, bool, error) {
 	if d.inQueue == nil {
 		d.inQueue = make([]bool, d.ov.V())
 	}
@@ -437,7 +500,15 @@ func (d *DynamicEngine) repair(k algorithms.Kernel, kernel string, st *kernelSta
 	}
 
 	res := &algorithms.ReferenceResult{}
+	var cancelErr error
 	for len(frontier) > 0 && ok {
+		// Worklist-drain boundary: the only cancellation point — the
+		// previous round fully drained, so prop is a consistent
+		// over-approximation and the scratch marks below stay balanced.
+		if cancelErr = ctx.Err(); cancelErr != nil {
+			ok = false
+			break
+		}
 		res.Iterations++
 		next := d.next[:0]
 		for _, u := range frontier {
@@ -474,9 +545,12 @@ func (d *DynamicEngine) repair(k algorithms.Kernel, kernel string, st *kernelSta
 	d.stats.RepairTouched += touched
 	if !ok {
 		d.stats.RepairAborts++
-		return nil, touched, visited, false
+		if cancelErr != nil {
+			return res, touched, visited, false, cancelErr
+		}
+		return nil, touched, visited, false, nil
 	}
 	st.version = cur
 	res.Prop = slices.Clone(prop)
-	return res, touched, visited, true
+	return res, touched, visited, true, nil
 }

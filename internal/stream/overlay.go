@@ -203,3 +203,40 @@ func (o *Overlay) Compact() {
 	o.delta = map[uint32][]halfEdge{}
 	o.nDelta = 0
 }
+
+// Restore rebuilds the overlay from a WAL-recovered insertion history: the
+// full sequence of inserted edges since the base graph, in insertion order,
+// and the version it reaches. It may only be called on a fresh overlay
+// (version 0, no deltas). The restored overlay materializes to the same CSR
+// as the pre-crash overlay at that version even if the pre-crash process
+// had compacted in between — materialization stable-sorts each row by
+// destination, and insertion order within a row is preserved here, so the
+// merged rows are identical whether or not intermediate compactions
+// happened (wal_test.go pins this).
+func (o *Overlay) Restore(history []EdgeUpdate, version uint64) error {
+	if o.version != 0 || o.nDelta != 0 {
+		return fmt.Errorf("stream: restore on non-fresh overlay (version %d, %d deltas)", o.version, o.nDelta)
+	}
+	if version == 0 && len(history) > 0 {
+		return fmt.Errorf("stream: restore version 0 with %d history edges", len(history))
+	}
+	for i, e := range history {
+		if e.Src >= o.base.V || e.Dst >= o.base.V {
+			return fmt.Errorf("stream: restore edge %d: %d->%d out of range (V=%d)",
+				i, e.Src, e.Dst, o.base.V)
+		}
+		if e.Weight == 0 {
+			return fmt.Errorf("stream: restore edge %d: zero weight", i)
+		}
+	}
+	for _, e := range history {
+		o.delta[e.Src] = append(o.delta[e.Src], halfEdge{dst: e.Dst, w: e.Weight})
+		o.nDelta++
+		if d := o.OutDeg(e.Src); d > o.bestDeg || (d == o.bestDeg && e.Src < o.bestV) {
+			o.bestDeg, o.bestV = d, e.Src
+		}
+	}
+	o.version = version
+	o.matValid = false
+	return nil
+}

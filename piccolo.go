@@ -23,6 +23,7 @@
 package piccolo
 
 import (
+	"context"
 	"fmt"
 
 	"piccolo/internal/accel"
@@ -111,8 +112,11 @@ func NewRunner(workers int) *Runner { return runner.New(workers) }
 // Sweep runs every job on a fresh default-width runner and returns the
 // results in submission order. For repeated or overlapping sweeps, build
 // one Runner with NewRunner and call its Sweep method so results are
-// cached across calls.
-func Sweep(jobs []Job) ([]*Result, error) { return runner.New(0).Sweep(jobs) }
+// cached across calls (its context-aware signature also supports
+// per-request deadlines; this helper runs unbounded).
+func Sweep(jobs []Job) ([]*Result, error) {
+	return runner.New(0).Sweep(context.Background(), jobs)
+}
 
 // Validate re-executes the kernel with the simulation-free reference and
 // checks the simulated vertex properties bit-for-bit.

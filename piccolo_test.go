@@ -1,6 +1,9 @@
 package piccolo
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestFacadeEndToEnd(t *testing.T) {
 	g := MustDataset("UU", ScaleTiny)
@@ -73,10 +76,10 @@ func TestFacadeSweep(t *testing.T) {
 	}
 
 	r := NewRunner(2)
-	if _, err := r.Sweep(jobs); err != nil {
+	if _, err := r.Sweep(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Sweep(jobs); err != nil {
+	if _, err := r.Sweep(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	var s RunnerStats = r.Stats()
@@ -137,11 +140,11 @@ func TestFacadeEngine(t *testing.T) {
 	}
 	r := NewRunner(2)
 	q := Query{Dataset: "SW", Kernel: "bfs", Scale: ScaleTiny, Src: -1}
-	res1, err := r.RunQuery(q)
+	res1, err := r.RunQuery(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := r.RunQuery(q)
+	res2, err := r.RunQuery(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
