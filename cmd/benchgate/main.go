@@ -109,7 +109,7 @@ func main() {
 	if *update {
 		b := Baseline{
 			Note: "min ns/op per benchmark; regenerate: go test -run='^$' -bench=. -count=3 -cpu 4 " +
-				"./internal/engine ./internal/runner ./internal/stream | go run ./cmd/benchgate -baseline BENCH_baseline.json -update",
+				"./internal/engine ./internal/graph ./internal/runner ./internal/stream | go run ./cmd/benchgate -baseline BENCH_baseline.json -update",
 			Benchmarks: current,
 		}
 		data, err := json.MarshalIndent(b, "", "  ")

@@ -1,11 +1,14 @@
 // Command graphgen generates synthetic graphs — the Table II dataset
 // proxies or custom generator invocations — into the binary interchange
-// format that piccolo-sim and piccolo.LoadGraph read.
+// format that piccolo-sim and piccolo.LoadGraph read, or (-format segment)
+// into the compressed on-disk segment format that piccolo-serve -graph-dir
+// mmaps and serves without a rebuild (DESIGN.md §14).
 //
 // Usage:
 //
 //	graphgen -dataset FS -scale small -out fs.graph
 //	graphgen -kind kronecker -vscale 14 -edgefactor 16 -seed 7 -out kn.graph
+//	graphgen -dataset SW -scale small -format segment -out sw.pseg
 package main
 
 import (
@@ -25,6 +28,7 @@ func main() {
 	beta := flag.Float64("beta", 0.1, "watts-strogatz rewiring probability")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "out.graph", "output path")
+	format := flag.String("format", "graph", "output format: graph (interchange) or segment (compressed, mmap-able)")
 	flag.Parse()
 
 	var g *piccolo.Graph
@@ -55,10 +59,18 @@ func main() {
 	default:
 		fail("need -dataset or -kind")
 	}
-	if err := g.WriteFile(*out); err != nil {
+	switch *format {
+	case "graph":
+		err = g.WriteFile(*out)
+	case "segment":
+		err = piccolo.WriteSegmentFile(g, *out)
+	default:
+		fail("unknown format %q (want graph or segment)", *format)
+	}
+	if err != nil {
 		fail("writing %s: %v", *out, err)
 	}
-	fmt.Printf("wrote %s: V=%d E=%d avg-deg=%.2f\n", *out, g.V, g.E(), g.AvgDegree())
+	fmt.Printf("wrote %s (%s): V=%d E=%d avg-deg=%.2f\n", *out, *format, g.V, g.E(), g.AvgDegree())
 }
 
 func fail(format string, args ...any) {

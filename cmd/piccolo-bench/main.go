@@ -157,7 +157,7 @@ func engineTable(sc graph.Scale, kind string, workers int) *stats.Table {
 	t := stats.NewTable(fmt.Sprintf("Host executor (%s)", kind),
 		"graph", "kernel", "iters", "edge visits", "ms", "MTEPS")
 	for _, g := range workloads {
-		src := graph.HighestDegreeVertex(g)
+		src, _ := graph.HighestDegreeVertex(g)
 		var eng *engine.Engine
 		if kind == "parallel" {
 			eng = engine.New(g, engine.Config{Workers: workers})

@@ -13,9 +13,15 @@
 // -batch-max of them) and submits them to the runner as one sweep, which
 // keeps the pool saturated under many small concurrent requests.
 //
+// -graph-dir loads pre-built compressed graph segments (*.pseg, written by
+// cmd/graphgen -format segment) at startup: each file is mmap'd and served
+// read-only under its embedded graph name, with no rebuild — queries
+// against a stored graph stream adjacency straight from the page cache
+// (DESIGN.md §14).
+//
 // Usage:
 //
-//	piccolo-serve [-addr :8642] [-workers N] [-batch-window 2ms] [-batch-max 64]
+//	piccolo-serve [-addr :8642] [-workers N] [-batch-window 2ms] [-batch-max 64] [-graph-dir DIR]
 //
 // See DESIGN.md §8 for the request/response schema and a quickstart.
 package main
@@ -223,13 +229,12 @@ type queryRequest struct {
 }
 
 // query validates the request and lowers it onto a runner.Query plus the
-// top-k size.
+// top-k size. Dataset existence is checked by the handler against the
+// runner (which also knows the stored graphs loaded via -graph-dir), not
+// here against the generator registry alone.
 func (q queryRequest) query() (runner.Query, int, error) {
 	if q.Dataset == "" {
 		return runner.Query{}, 0, fmt.Errorf("missing dataset")
-	}
-	if _, err := graph.ByName(q.Dataset); err != nil {
-		return runner.Query{}, 0, err
 	}
 	kernel := q.Kernel
 	if kernel == "" {
@@ -526,6 +531,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.runner.KnownDataset(q.Dataset) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("graph: unknown dataset %q", q.Dataset))
+		return
+	}
 	if req.Version != nil {
 		// Reject an already-stale pin before paying for an execution; the
 		// post-execution check below still catches an update racing in.
@@ -566,10 +575,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			"graph %s is at version %d, not the requested %d", q.Dataset, info.Version, *req.Version))
 		return
 	}
-	// The base graph gives V (fixed across updates); Edges comes from the
+	// The dataset shape gives V (fixed across updates, and read straight
+	// from the segment header for stored graphs); Edges comes from the
 	// execution snapshot in info, so the response's shape is consistent
 	// with its version even when updates race.
-	g, err := s.runner.Graph(q.Dataset, q.Scale)
+	nv, _, err := s.runner.DatasetShape(q.Dataset, q.Scale)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -585,7 +595,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Kernel:     q.Kernel,
 		Version:    info.Version,
 		Mode:       info.Mode,
-		Vertices:   g.V,
+		Vertices:   nv,
 		Edges:      info.Edges,
 		Iterations: res.Iterations,
 		EdgeVisits: res.EdgeVisits,
@@ -611,6 +621,13 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Dataset == "" {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing dataset"))
+		return
+	}
+	if _, stored := s.runner.StoredDigest(req.Dataset); stored {
+		// Report read-only before the generator lookup: a stored name is a
+		// known dataset even when no generator of that name exists.
+		httpError(w, http.StatusBadRequest, fmt.Errorf(
+			"stored graph %q is read-only (loaded from -graph-dir)", req.Dataset))
 		return
 	}
 	if _, err := graph.ByName(req.Dataset); err != nil {
@@ -724,6 +741,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"workers":             s.runner.Workers(),
 		"uptime_s":            time.Since(s.started).Seconds(),
 		"graphs_loaded":       s.runner.GraphsLoaded(),
+		"stored_graphs":       s.runner.StoredGraphs(),
 		"cache_hits":          st.Hits,
 		"cache_misses":        st.Misses,
 		"cache_hit_rate":      st.HitRate(),
@@ -754,6 +772,7 @@ func main() {
 	batchMax := flag.Int("batch-max", 64, "max jobs per micro-batch")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes heap contents; keep off unless profiling)")
 	accessLog := flag.Bool("access-log", true, "emit one JSON access-log line per request to stderr")
+	graphDir := flag.String("graph-dir", "", "directory of pre-built graph segments (*.pseg) to mmap and serve read-only at startup")
 	walDir := flag.String("wal-dir", "", "write-ahead-log directory for streaming updates; empty disables durability, non-empty replays any logs found there at startup")
 	walSegment := flag.Int64("wal-segment", 0, "WAL segment size in bytes before checkpoint+rotate; <= 0 selects the default")
 	defaultDeadline := flag.Duration("default-deadline", 0, "per-request deadline when the client sends no X-Deadline-Ms header; 0 means none")
@@ -774,6 +793,19 @@ func main() {
 	}
 	if *maxInflight > 0 || *p99SLO > 0 {
 		s.adm = newAdmission(s.runner.Metrics(), *maxInflight, *p99SLO, *sloWindow, *sloSustain)
+	}
+	if *graphDir != "" {
+		infos, err := s.runner.OpenGraphDir(*graphDir)
+		if err != nil {
+			log.Fatalf("piccolo-serve: graph-dir: %v", err)
+		}
+		if len(infos) == 0 {
+			log.Printf("piccolo-serve: graph-dir %s holds no %s segments", *graphDir, runner.SegmentExt)
+		}
+		for _, info := range infos {
+			log.Printf("piccolo-serve: stored graph %s: %d vertices, %d edges, %d blocks, %d bytes, mmap=%v, digest %.12s",
+				info.Name, info.Vertices, info.Edges, info.Blocks, info.Bytes, info.Mapped, info.Digest)
+		}
 	}
 	if *walDir != "" {
 		recs, err := s.runner.EnableWAL(context.Background(), *walDir, *walSegment)

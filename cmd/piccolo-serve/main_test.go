@@ -297,7 +297,8 @@ func referenceBFS(t *testing.T, g *graph.CSR) ([]uint64, int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := algorithms.RunReference(g, k, graph.HighestDegreeVertex(g), engine.DefaultMaxIters)
+	src, _ := graph.HighestDegreeVertex(g)
+	ref := algorithms.RunReference(g, k, src, engine.DefaultMaxIters)
 	return ref.Prop, ref.Iterations
 }
 

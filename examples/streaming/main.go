@@ -82,7 +82,8 @@ func src(d *piccolo.DynamicEngine, kernel string) uint32 {
 	if kernel == "pr" || kernel == "cc" {
 		return 0
 	}
-	return piccolo.HighestDegreeVertex(d.Graph())
+	v, _ := piccolo.HighestDegreeVertex(d.Graph())
+	return v
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

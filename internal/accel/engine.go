@@ -116,7 +116,7 @@ func NewEngine(cfg Config, g *graph.CSR, k algorithms.Kernel, mem *dram.System, 
 
 // Run simulates until convergence or MaxIters and returns the result.
 func (e *Engine) Run(src uint32) (*Result, error) {
-	e.prop, e.active = e.k.Init(e.g, src)
+	e.prop, e.active = e.k.Init(e.g.V, src)
 	e.prevProp = make([]uint64, e.g.V)
 	e.vtemp = make([]uint64, e.g.V)
 	e.updated = make([]bool, e.g.V)

@@ -26,7 +26,7 @@ func runSystem(t *testing.T, sys System, g *graph.CSR, k algorithms.Kernel, mut 
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	res, err := eng.Run(src)
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +43,7 @@ func testGraph() *graph.CSR {
 // properties, equal to the simulation-free reference.
 func TestAllSystemsMatchReference(t *testing.T) {
 	g := testGraph()
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	for _, k := range algorithms.All() {
 		ref := algorithms.RunReference(g, k, src, 40)
 		for _, sys := range Systems() {
@@ -85,7 +85,7 @@ func TestResultsIndependentOfTileWidth(t *testing.T) {
 func TestResultsIndependentOfMemoryConfig(t *testing.T) {
 	g := testGraph()
 	k := algorithms.BFS{}
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	ref := algorithms.RunReference(g, k, src, 40)
 	for _, mc := range []dram.Config{dram.DDR4(4), dram.LPDDR4(), dram.HBM()} {
 		q := &sim.Queue{}
@@ -217,7 +217,7 @@ func TestPrefetchDepthMatters(t *testing.T) {
 func TestEdgeCentricMode(t *testing.T) {
 	g := testGraph()
 	k := algorithms.PageRank{}
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	ref := algorithms.RunReference(g, k, src, 2)
 	ec := runSystem(t, Piccolo, g, k, func(c *Config) { c.MaxIters = 2; c.EdgeCentric = true })
 	for v := range ref.Prop {

@@ -147,7 +147,7 @@ func TestSSSPMatchesDijkstra(t *testing.T) {
 	f := func(seed int64) bool {
 		g := graph.Kronecker("k", 7, 4, seed)
 		g.AssignRandomWeights(seed ^ 0x55)
-		src := graph.HighestDegreeVertex(g)
+		src, _ := graph.HighestDegreeVertex(g)
 		res := RunReference(g, SSSP{}, src, 10000)
 		want := dijkstra(g, src)
 		for v := uint32(0); v < g.V; v++ {
@@ -194,7 +194,7 @@ func dijkstra(g *graph.CSR, src uint32) []uint64 {
 
 func TestBFSMatchesSimpleBFS(t *testing.T) {
 	g := graph.Kronecker("k", 8, 4, 99)
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	res := RunReference(g, BFS{}, src, 10000)
 	// Plain queue BFS oracle.
 	want := make([]uint64, g.V)

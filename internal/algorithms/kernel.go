@@ -8,8 +8,6 @@ package algorithms
 import (
 	"fmt"
 	"math"
-
-	"piccolo/internal/graph"
 )
 
 // Kernel is one vertex-centric graph algorithm. Vertex properties are 8B
@@ -17,9 +15,11 @@ import (
 // paper's property granularity.
 type Kernel interface {
 	Name() string
-	// Init returns the initial property array and active-vertex flags.
-	// src is the traversal source (ignored by PR and CC).
-	Init(g *graph.CSR, src uint32) (prop []uint64, active []bool)
+	// Init returns the initial property array and active-vertex flags for a
+	// v-vertex graph. src is the traversal source (ignored by PR and CC); a
+	// src at or beyond v — only possible for degenerate graphs with no valid
+	// source at all — yields a run with nothing active.
+	Init(v uint32, src uint32) (prop []uint64, active []bool)
 	// Process computes an edge's contribution from the source vertex
 	// property (Algorithm 1 line 4).
 	Process(weight uint8, srcProp uint64, srcDeg uint32) uint64
@@ -77,9 +77,9 @@ func (PageRank) Name() string { return "PR" }
 
 // Init assigns every vertex rank 1 (the sum-to-N PageRank formulation, so
 // Apply's teleport term needs no global vertex count).
-func (PageRank) Init(g *graph.CSR, _ uint32) ([]uint64, []bool) {
-	prop := make([]uint64, g.V)
-	active := make([]bool, g.V)
+func (PageRank) Init(v uint32, _ uint32) ([]uint64, []bool) {
+	prop := make([]uint64, v)
+	active := make([]bool, v)
 	one := math.Float64bits(1)
 	for i := range prop {
 		prop[i] = one
@@ -118,14 +118,16 @@ type BFS struct{}
 
 func (BFS) Name() string { return "BFS" }
 
-func (BFS) Init(g *graph.CSR, src uint32) ([]uint64, []bool) {
-	prop := make([]uint64, g.V)
-	active := make([]bool, g.V)
+func (BFS) Init(v uint32, src uint32) ([]uint64, []bool) {
+	prop := make([]uint64, v)
+	active := make([]bool, v)
 	for i := range prop {
 		prop[i] = inf
 	}
-	prop[src] = 0
-	active[src] = true
+	if src < v {
+		prop[src] = 0
+		active[src] = true
+	}
 	return prop, active
 }
 
@@ -141,9 +143,9 @@ type CC struct{}
 
 func (CC) Name() string { return "CC" }
 
-func (CC) Init(g *graph.CSR, _ uint32) ([]uint64, []bool) {
-	prop := make([]uint64, g.V)
-	active := make([]bool, g.V)
+func (CC) Init(v uint32, _ uint32) ([]uint64, []bool) {
+	prop := make([]uint64, v)
+	active := make([]bool, v)
 	for i := range prop {
 		prop[i] = uint64(i)
 		active[i] = true
@@ -163,14 +165,16 @@ type SSSP struct{}
 
 func (SSSP) Name() string { return "SSSP" }
 
-func (SSSP) Init(g *graph.CSR, src uint32) ([]uint64, []bool) {
-	prop := make([]uint64, g.V)
-	active := make([]bool, g.V)
+func (SSSP) Init(v uint32, src uint32) ([]uint64, []bool) {
+	prop := make([]uint64, v)
+	active := make([]bool, v)
 	for i := range prop {
 		prop[i] = inf
 	}
-	prop[src] = 0
-	active[src] = true
+	if src < v {
+		prop[src] = 0
+		active[src] = true
+	}
 	return prop, active
 }
 
@@ -189,11 +193,13 @@ type SSWP struct{}
 
 func (SSWP) Name() string { return "SSWP" }
 
-func (SSWP) Init(g *graph.CSR, src uint32) ([]uint64, []bool) {
-	prop := make([]uint64, g.V)
-	active := make([]bool, g.V)
-	prop[src] = inf
-	active[src] = true
+func (SSWP) Init(v uint32, src uint32) ([]uint64, []bool) {
+	prop := make([]uint64, v)
+	active := make([]bool, v)
+	if src < v {
+		prop[src] = inf
+		active[src] = true
+	}
 	return prop, active
 }
 

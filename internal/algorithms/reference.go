@@ -17,7 +17,7 @@ type ReferenceResult struct {
 // maxIters is reached. Every simulated system must produce bit-identical
 // properties (DESIGN.md §5 invariant).
 func RunReference(g *graph.CSR, k Kernel, src uint32, maxIters int) *ReferenceResult {
-	prop, active := k.Init(g, src)
+	prop, active := k.Init(g.V, src)
 	vtemp := make([]uint64, g.V)
 	updated := make([]bool, g.V)
 	res := &ReferenceResult{}

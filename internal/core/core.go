@@ -146,7 +146,7 @@ func Run(cfg Config, g *graph.CSR) (*Result, error) {
 	if cfg.Src >= 0 && cfg.Src < int64(g.V) {
 		src = uint32(cfg.Src)
 	} else {
-		src = graph.HighestDegreeVertex(g)
+		src, _ = graph.HighestDegreeVertex(g)
 	}
 	ares, err := eng.Run(src)
 	if err != nil {
@@ -245,7 +245,7 @@ func Validate(cfg Config, g *graph.CSR, res *Result) error {
 	if cfg.Src >= 0 && cfg.Src < int64(g.V) {
 		src = uint32(cfg.Src)
 	} else {
-		src = graph.HighestDegreeVertex(g)
+		src, _ = graph.HighestDegreeVertex(g)
 	}
 	ref := algorithms.RunReference(g, k, src, maxIters)
 	if ref.Iterations != res.Iterations {

@@ -25,7 +25,7 @@ func benchKernel(b *testing.B, kernel string, maxIters, workers int, dir Directi
 	if err != nil {
 		b.Fatal(err)
 	}
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	var edges uint64
 	if workers == 0 {
 		b.ResetTimer()

@@ -48,7 +48,7 @@ func TestRunCtxCancelDeterminism(t *testing.T) {
 		graph.Kronecker("kron", 8, 8, 12),
 	}
 	for _, g := range graphs {
-		src := graph.HighestDegreeVertex(g)
+		src, _ := graph.HighestDegreeVertex(g)
 		for _, k := range algorithms.All() {
 			t.Run(fmt.Sprintf("%s/%s", g.Name, k.Name()), func(t *testing.T) {
 				e := New(g, Config{Workers: 3})

@@ -132,7 +132,25 @@ type pair struct {
 
 // Engine executes kernels on one graph with a fixed sharding.
 type Engine struct {
+	// store is the shard source: the adjacency the engine builds its shard
+	// views from and streams thin-frontier rows out of. It is either an
+	// in-RAM CSR (New) or an on-disk compressed segment (NewFromStore over
+	// graph.OpenSegment) — the iteration logic never distinguishes the two
+	// because both deliver rows in the ascending (source, edge-index) order
+	// the determinism argument pins.
+	store graph.GraphStore
+	// g is the wrapped CSR when store is CSR-backed, nil otherwise; the hot
+	// loops use it to skip interface dispatch where a direct array walk is
+	// measurably cheaper.
 	g *graph.CSR
+	// v and nEdges memoize the store's shape.
+	v      uint32
+	nEdges uint64
+	// rowBufs are the per-scatter-chunk decode buffers for store-backed
+	// thin-frontier scatter (one per chunk: chunks are the unit of
+	// parallelism, and a RowBuf must not be shared between concurrent
+	// readers). nil for CSR-backed engines.
+	rowBufs []*graph.RowBuf
 	// workers is atomic so SetWorkers is safe concurrently with a running
 	// execution (runner worker-slot changes race cached engines
 	// otherwise); each parallel phase snapshots it once.
@@ -195,10 +213,19 @@ type Engine struct {
 	scatterMark time.Time
 }
 
-// New builds an engine for g. The sharding pass is O(V+E); dense sub-CSRs
-// are built lazily on the first AllActive kernel run.
+// New builds an engine for an in-RAM CSR. The sharding pass is O(V+E);
+// dense sub-CSRs are built lazily on the first AllActive kernel run.
 func New(g *graph.CSR, cfg Config) *Engine {
+	return NewFromStore(graph.AsStore(g), cfg)
+}
+
+// NewFromStore builds an engine over any graph store — an in-RAM CSR or an
+// opened segment (graph.OpenSegment), whose adjacency then streams from the
+// mmap as shards build and thin frontiers scatter. Results are bit-identical
+// across stores of the same graph at every configuration.
+func NewFromStore(st graph.GraphStore, cfg Config) *Engine {
 	w := clampWorkers(cfg.Workers)
+	v := st.NumVertices()
 	p := cfg.Shards
 	if p <= 0 {
 		p = 2 * w
@@ -206,13 +233,13 @@ func New(g *graph.CSR, cfg Config) *Engine {
 	if p > maxShards {
 		p = maxShards
 	}
-	if uint32(p) > g.V {
-		p = int(g.V)
+	if uint32(p) > v {
+		p = int(v)
 	}
 	if p < 1 {
 		p = 1
 	}
-	e := &Engine{g: g, shards: p, dir: cfg.Direction}
+	e := &Engine{store: st, g: graph.StoreCSR(st), v: v, nEdges: st.NumEdges(), shards: p, dir: cfg.Direction}
 	e.alpha = defaultAlpha
 	if cfg.Alpha > 0 {
 		e.alpha = uint64(cfg.Alpha)
@@ -223,11 +250,19 @@ func New(g *graph.CSR, cfg Config) *Engine {
 	}
 	e.tileWidth = cfg.TileSourceWidth
 	if e.tileWidth == 0 {
-		e.tileWidth = graph.PullTileWidth(g.V, 0)
+		e.tileWidth = graph.PullTileWidth(v, 0)
 	}
 	e.workers.Store(int32(w))
 	e.partition()
 	return e
+}
+
+// outDeg returns vertex u's out-degree from the fastest available source.
+func (e *Engine) outDeg(u uint32) uint32 {
+	if e.g != nil {
+		return e.g.OutDeg(u)
+	}
+	return e.store.OutDeg(u)
 }
 
 // Package-wide superstep counters by traversal direction, exported for the
@@ -309,8 +344,13 @@ func (e *Engine) Run(k algorithms.Kernel, src uint32, maxIters int) *Result {
 // bit-identical complete result, never a third state (cancel_test.go pins
 // this at every boundary).
 func (e *Engine) RunCtx(ctx context.Context, k algorithms.Kernel, src uint32, maxIters int) (*Result, error) {
-	g := e.g
-	prop, active := k.Init(g, src)
+	if e.v == 0 {
+		// A 0-vertex graph has nothing to iterate; return the converged
+		// empty result the reference executor produces (non-nil, zero-length
+		// Prop) before touching any per-vertex state.
+		return &Result{Prop: []uint64{}}, nil
+	}
+	prop, active := k.Init(e.v, src)
 	res := &Result{}
 	e.ensureState()
 	identity := k.Identity()
@@ -331,7 +371,7 @@ func (e *Engine) RunCtx(ctx context.Context, k algorithms.Kernel, src uint32, ma
 	// in-edge mass unconsumed (performance-only — the choice never
 	// affects result bits).
 	e.curPull = false
-	e.remIn = e.g.E()
+	e.remIn = e.nEdges
 	var err error
 	if k.AllActive() {
 		err = e.runDense(ctx, k, prop, active, maxIters, res)
@@ -350,8 +390,8 @@ func (e *Engine) ensureState() {
 	if e.vtemp != nil {
 		return
 	}
-	e.vtemp = make([]uint64, e.g.V)
-	e.updated = make([]bool, e.g.V)
+	e.vtemp = make([]uint64, e.v)
+	e.updated = make([]bool, e.v)
 	e.touched = make([][]uint32, e.shards)
 	e.next = make([][]uint32, e.shards)
 	e.shardCnt = make([]uint64, e.shards)
@@ -365,7 +405,6 @@ func (e *Engine) ensureState() {
 // vertex ranges. Both directions replay the reference fold order, so the
 // choice never affects result bits.
 func (e *Engine) runDense(ctx context.Context, k algorithms.Kernel, prop []uint64, active []bool, maxIters int, res *Result) error {
-	g := e.g
 	identity := k.Identity()
 
 	anyActive := false
@@ -415,7 +454,7 @@ func (e *Engine) runDense(ctx context.Context, k algorithms.Kernel, prop []uint6
 					}
 				}
 			} else {
-				activeSrcs = int(g.V)
+				activeSrcs = int(e.v)
 			}
 			tStart = time.Now()
 		}
@@ -481,7 +520,6 @@ func (e *Engine) runDense(ctx context.Context, k algorithms.Kernel, prop []uint6
 // denseContribPush is the source-centric dense contribution phase: each
 // shard streams its destination-sharded sub-CSR in ascending source order.
 func (e *Engine) denseContribPush(k algorithms.Kernel, fp *fastOps, prop []uint64, act []bool) {
-	g := e.g
 	fastDense := fp != nil && fp.dense != nil
 	e.parallelDo(e.shards, func(s int) {
 		ds := &e.dense[s]
@@ -491,7 +529,7 @@ func (e *Engine) denseContribPush(k algorithms.Kernel, fp *fastOps, prop []uint6
 			if act != nil && !act[u] {
 				continue
 			}
-			deg := g.OutDeg(u)
+			deg := e.outDeg(u)
 			pu := prop[u]
 			lo, hi := ds.rowPtr[i], ds.rowPtr[i+1]
 			if fastDense {
@@ -516,12 +554,11 @@ func (e *Engine) denseContribPush(k algorithms.Kernel, fp *fastOps, prop []uint6
 // (the iPregel-style frontier-aware switch). Apply and frontier rebuild
 // are shared by every path.
 func (e *Engine) runSparse(ctx context.Context, k algorithms.Kernel, prop []uint64, active []bool, maxIters int, res *Result) error {
-	g := e.g
 	identity := k.Identity()
 	fp := fastOpsFor(k)
 
 	frontier := e.frontier[:0]
-	for v := uint32(0); v < g.V; v++ {
+	for v := uint32(0); v < e.v; v++ {
 		if active[v] {
 			frontier = append(frontier, v)
 		}
@@ -543,7 +580,7 @@ func (e *Engine) runSparse(ctx context.Context, k algorithms.Kernel, prop []uint
 		// factors differ.
 		var frontierEdges uint64
 		for _, u := range frontier {
-			frontierEdges += uint64(g.OutDeg(u))
+			frontierEdges += uint64(e.outDeg(u))
 		}
 		res.EdgeVisits += frontierEdges
 
@@ -647,7 +684,7 @@ func (e *Engine) runSparse(ctx context.Context, k algorithms.Kernel, prop []uint
 // only, never bits.
 func (e *Engine) autoPull(frontierLen int, frontierEdges uint64) bool {
 	if e.curPull {
-		if uint64(frontierLen)*e.beta < uint64(e.g.V) {
+		if uint64(frontierLen)*e.beta < uint64(e.v) {
 			e.curPull = false
 		}
 	} else if frontierEdges*e.alpha > e.remIn {
@@ -658,7 +695,7 @@ func (e *Engine) autoPull(frontierLen int, frontierEdges uint64) bool {
 	} else {
 		e.remIn = 0
 	}
-	if floor := e.g.E() / 64; e.remIn < floor {
+	if floor := e.nEdges / 64; e.remIn < floor {
 		e.remIn = floor
 	}
 	return e.curPull
@@ -672,7 +709,7 @@ func (e *Engine) autoPull(frontierLen int, frontierEdges uint64) bool {
 // it is free to differ across worker counts.
 func (e *Engine) streamWorthwhile(frontierEdges uint64) bool {
 	if e.dense == nil {
-		return frontierEdges > uint64(e.g.V)
+		return frontierEdges > uint64(e.v)
 	}
 	return frontierEdges > e.srcsTotal
 }
@@ -682,7 +719,6 @@ func (e *Engine) streamWorthwhile(frontierEdges uint64) bool {
 // no materialization. Source order is ascending within the shard, so the
 // per-destination fold order is the reference order.
 func (e *Engine) streamContributions(k algorithms.Kernel, fp *fastOps, prop []uint64, frontier []uint32) {
-	g := e.g
 	fast := fp != nil && fp.stream != nil
 	e.ensureBitmap()
 	e.active.setAll(frontier)
@@ -695,7 +731,7 @@ func (e *Engine) streamContributions(k algorithms.Kernel, fp *fastOps, prop []ui
 			if active[u>>6]&(uint64(1)<<(u&63)) == 0 {
 				continue
 			}
-			deg := g.OutDeg(u)
+			deg := e.outDeg(u)
 			pu := prop[u]
 			lo, hi := ds.rowPtr[i], ds.rowPtr[i+1]
 			if fast {
@@ -719,7 +755,7 @@ func (e *Engine) streamContributions(k algorithms.Kernel, fp *fastOps, prop []ui
 // ensureBitmap allocates the frontier bitmap on first use.
 func (e *Engine) ensureBitmap() {
 	if e.active == nil {
-		e.active = newBitmap(e.g.V)
+		e.active = newBitmap(e.v)
 	}
 }
 
@@ -763,8 +799,21 @@ func (e *Engine) scatterContributions(k algorithms.Kernel, fp *fastOps, prop []u
 		for s := range bk {
 			bk[s] = bk[s][:0]
 		}
+		// Store-backed engines decode rows into the chunk's reusable buffer;
+		// the frontier is sorted ascending and chunks are contiguous slices
+		// of it, so the buffer's block memo turns the chunk's row fetches
+		// into one sequential decode per touched segment block. Hub rows may
+		// reassemble into the buffer's spill slices — deg is the true row
+		// degree either way.
+		buf := e.rowBufs[c]
 		for _, u := range frontier[lo:hi] {
-			dsts, ws := g.Neighbors(u)
+			var dsts []uint32
+			var ws []uint8
+			if g != nil {
+				dsts, ws = g.Neighbors(u)
+			} else {
+				dsts, ws = e.store.Row(u, buf)
+			}
 			deg := uint32(len(dsts))
 			pu := prop[u]
 			if fastScatter {
@@ -802,10 +851,14 @@ func (e *Engine) scatterContributions(k algorithms.Kernel, fp *fastOps, prop []u
 	})
 }
 
-// ensureBuckets grows the scatter bucket matrix to at least n chunks.
+// ensureBuckets grows the scatter bucket matrix (and, for store-backed
+// engines, the per-chunk row decode buffers) to at least n chunks.
 func (e *Engine) ensureBuckets(n int) {
 	for len(e.buckets) < n {
 		e.buckets = append(e.buckets, make([][]pair, e.shards))
+	}
+	for len(e.rowBufs) < n {
+		e.rowBufs = append(e.rowBufs, &graph.RowBuf{})
 	}
 }
 

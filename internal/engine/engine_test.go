@@ -47,7 +47,7 @@ func assertBitIdentical(t *testing.T, ref, got *algorithms.ReferenceResult) {
 // phase barriers.
 func TestEngineMatchesReference(t *testing.T) {
 	for _, g := range diffGraphs() {
-		src := graph.HighestDegreeVertex(g)
+		src, _ := graph.HighestDegreeVertex(g)
 		for _, k := range algorithms.All() {
 			ref := algorithms.RunReference(g, k, src, 100)
 			for _, workers := range []int{1, 2, 4, 7} {
@@ -72,7 +72,7 @@ type opaqueKernel struct{ algorithms.Kernel }
 // the path a user-supplied kernel takes — are proven bit-identical too.
 func TestEngineGenericPathMatchesReference(t *testing.T) {
 	g := graph.Kronecker("kron", 9, 8, 21)
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	for _, k := range algorithms.All() {
 		ref := algorithms.RunReference(g, k, src, 100)
 		for _, workers := range []int{1, 4} {
@@ -87,7 +87,7 @@ func TestEngineGenericPathMatchesReference(t *testing.T) {
 // the degenerate single-shard engine.
 func TestEngineShardCountInvariance(t *testing.T) {
 	g := graph.Kronecker("kron", 9, 8, 3)
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	for _, k := range algorithms.All() {
 		ref := algorithms.RunReference(g, k, src, 100)
 		for _, shards := range []int{1, 3, 16, 129} {
@@ -104,7 +104,7 @@ func TestEngineShardCountInvariance(t *testing.T) {
 // executing different kernels back to back must leave no state behind.
 func TestEngineReuseAcrossRuns(t *testing.T) {
 	g := graph.Uniform("uni", 500, 5, 7)
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	e := New(g, Config{Workers: 4})
 	for round := 0; round < 2; round++ {
 		for _, k := range algorithms.All() {
@@ -145,7 +145,7 @@ func TestEngineSmallGraphs(t *testing.T) {
 // engine exactly where it truncates the reference.
 func TestEngineMaxItersCap(t *testing.T) {
 	g := graph.Kronecker("kron", 8, 8, 5)
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	for _, k := range algorithms.All() {
 		for _, cap := range []int{0, 1, 2} {
 			ref := algorithms.RunReference(g, k, src, cap)

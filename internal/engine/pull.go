@@ -51,11 +51,10 @@ type pullShard struct {
 // is one extra copy of Row+W (the shared CSC is released; only the tiled
 // copies and OutDeg are kept).
 func (e *Engine) buildPull() {
-	g := e.g
-	csc := graph.BuildCSC(g)
+	csc := graph.BuildCSCStore(e.store)
 	e.degs = csc.OutDeg
 	width := uint64(e.tileWidth)
-	nTiles := int((uint64(g.V) + width - 1) / width)
+	nTiles := int((uint64(e.v) + width - 1) / width)
 	e.pull = make([]pullShard, e.shards)
 	e.parallelDo(e.shards, func(s int) {
 		lo, hi := e.bounds[s], e.bounds[s+1]
@@ -170,7 +169,7 @@ func (e *Engine) denseContribPull(k algorithms.Kernel, fp *fastOps, prop []uint6
 	degs := e.degs
 	if act == nil && fp != nil && fp.densePull != nil {
 		if e.contrib == nil {
-			e.contrib = make([]uint64, e.g.V)
+			e.contrib = make([]uint64, e.v)
 		}
 		contrib := e.contrib
 		// The destination-shard bounds cover [0, V) contiguously; reuse

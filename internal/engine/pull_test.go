@@ -16,7 +16,7 @@ import (
 // never visit some (kernel, graph) corners of a pure strategy.
 func TestEngineDirectionsMatchReference(t *testing.T) {
 	for _, g := range diffGraphs() {
-		src := graph.HighestDegreeVertex(g)
+		src, _ := graph.HighestDegreeVertex(g)
 		for _, k := range algorithms.All() {
 			ref := algorithms.RunReference(g, k, src, 100)
 			for _, dir := range []Direction{DirPush, DirPull, DirAuto} {
@@ -64,7 +64,7 @@ func TestEngineForcedMidRunSwitch(t *testing.T) {
 		},
 	}
 	for _, g := range diffGraphs() {
-		src := graph.HighestDegreeVertex(g)
+		src, _ := graph.HighestDegreeVertex(g)
 		for _, k := range algorithms.All() {
 			ref := algorithms.RunReference(g, k, src, 100)
 			for pname, force := range patterns {
@@ -84,7 +84,7 @@ func TestEngineForcedMidRunSwitch(t *testing.T) {
 // graph (untiled degenerate) must be bit-identical.
 func TestEnginePullTileWidthInvariance(t *testing.T) {
 	g := graph.Kronecker("kron", 10, 8, 31)
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	for _, k := range algorithms.All() {
 		ref := algorithms.RunReference(g, k, src, 100)
 		for _, width := range []uint32{64, 1000, 1 << 20} {
@@ -103,7 +103,7 @@ func TestEnginePullTileWidthInvariance(t *testing.T) {
 // bit-identical too.
 func TestEnginePullGenericPath(t *testing.T) {
 	g := graph.Kronecker("kron", 9, 8, 21)
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	for _, k := range algorithms.All() {
 		ref := algorithms.RunReference(g, k, src, 100)
 		for _, workers := range []int{1, 4} {
@@ -121,7 +121,7 @@ func TestEnginePullGenericPath(t *testing.T) {
 // exactly the per-direction iteration split.
 func TestEngineAutoSwitchesOnBFS(t *testing.T) {
 	g := graph.Kronecker("kron", 12, 8, 7)
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	k, _ := algorithms.New("bfs")
 	ref := algorithms.RunReference(g, k, src, 100)
 

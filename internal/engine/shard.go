@@ -12,29 +12,31 @@ const maxShards = 1024
 // choice anyway (each destination has a single owner and each owner folds
 // in reference order).
 func (e *Engine) partition() {
-	g := e.g
-	indeg := make([]uint32, g.V)
-	for _, v := range g.Col {
-		indeg[v]++
-	}
+	nv := e.v
+	indeg := make([]uint32, nv)
+	e.store.ScanRows(func(_ uint32, dsts []uint32, _ []uint8) {
+		for _, v := range dsts {
+			indeg[v]++
+		}
+	})
 	e.bounds = make([]uint32, e.shards+1)
-	e.owner = make([]uint16, g.V)
+	e.owner = make([]uint16, nv)
 	// Weight each vertex by in-degree plus one: the +1 spreads long
 	// zero-in-degree ranges instead of collapsing them into one shard.
-	total := g.E() + uint64(g.V)
+	total := e.nEdges + uint64(nv)
 	v := uint32(0)
 	var acc uint64
 	for s := 0; s < e.shards; s++ {
 		e.bounds[s] = v
 		target := total * uint64(s+1) / uint64(e.shards)
-		for v < g.V && acc < target {
+		for v < nv && acc < target {
 			acc += uint64(indeg[v]) + 1
 			e.owner[v] = uint16(s)
 			v++
 		}
 	}
-	e.bounds[e.shards] = g.V
-	for ; v < g.V; v++ {
+	e.bounds[e.shards] = nv
+	for ; v < nv; v++ {
 		e.owner[v] = uint16(e.shards - 1)
 	}
 }
@@ -52,17 +54,20 @@ type denseShard struct {
 }
 
 // buildDense splits the graph's edges into per-shard sub-CSRs in two O(E)
-// passes (count, then fill). Memory cost is one extra copy of Col+Weight.
+// passes (count, then fill), streaming the adjacency from the engine's
+// store — each segment block decodes twice and never resides whole in
+// memory. The "same source as last edge into this shard" grouping is
+// insensitive to hub rows arriving as multiple ScanRows pieces (pieces of
+// one row are adjacent and in order), so RAM- and segment-backed builds
+// produce identical shards. Memory cost is one extra copy of Col+Weight.
 func (e *Engine) buildDense() {
-	g := e.g
 	edges := make([]uint64, e.shards)
 	rows := make([]uint64, e.shards)
 	last := make([]int64, e.shards)
 	for s := range last {
 		last[s] = -1
 	}
-	for u := uint32(0); u < g.V; u++ {
-		dsts, _ := g.Neighbors(u)
+	e.store.ScanRows(func(u uint32, dsts []uint32, _ []uint8) {
 		for _, v := range dsts {
 			s := e.owner[v]
 			edges[s]++
@@ -71,7 +76,7 @@ func (e *Engine) buildDense() {
 				rows[s]++
 			}
 		}
-	}
+	})
 	e.dense = make([]denseShard, e.shards)
 	for s := range e.dense {
 		e.dense[s] = denseShard{
@@ -82,8 +87,7 @@ func (e *Engine) buildDense() {
 		}
 		last[s] = -1
 	}
-	for u := uint32(0); u < g.V; u++ {
-		dsts, ws := g.Neighbors(u)
+	e.store.ScanRows(func(u uint32, dsts []uint32, ws []uint8) {
 		for i, v := range dsts {
 			s := e.owner[v]
 			ds := &e.dense[s]
@@ -96,7 +100,7 @@ func (e *Engine) buildDense() {
 			ds.weight = append(ds.weight, ws[i])
 			ds.rowPtr[len(ds.rowPtr)-1]++
 		}
-	}
+	})
 	e.srcsTotal = 0
 	for s := range e.dense {
 		e.srcsTotal += uint64(len(e.dense[s].srcs))

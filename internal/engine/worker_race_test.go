@@ -21,7 +21,7 @@ func TestSetWorkersConcurrentWithRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	ref := algorithms.RunReference(g, k, src, DefaultMaxIters)
 
 	e := New(g, Config{Workers: 2})

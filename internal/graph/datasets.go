@@ -206,13 +206,10 @@ func ByName(name string) (Dataset, error) {
 
 // HighestDegreeVertex returns the vertex with the largest out-degree; the
 // experiments use it as the BFS/SSSP/SSWP source so traversals reach a large
-// fraction of the graph, as they do on the paper's real datasets.
-func HighestDegreeVertex(g *CSR) uint32 {
-	best, bestDeg := uint32(0), uint32(0)
-	for u := uint32(0); u < g.V; u++ {
-		if d := g.OutDeg(u); d > bestDeg {
-			best, bestDeg = u, d
-		}
-	}
-	return best
+// fraction of the graph, as they do on the paper's real datasets. For a
+// 0-vertex graph there is no such vertex and ok is false — callers must not
+// feed the returned id into a kernel in that case (it used to silently
+// return vertex 0, an out-of-range source that panicked downstream).
+func HighestDegreeVertex(g *CSR) (v uint32, ok bool) {
+	return HighestDegreeVertexStore(AsStore(g))
 }

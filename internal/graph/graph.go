@@ -93,6 +93,14 @@ func (g *CSR) Validate() error {
 // duplicate (src, dst) pairs are kept (multi-edges are legal in the paper's
 // synthetic generators). Self-loops are kept as well.
 func FromEdges(name string, v uint32, edges []Edge) *CSR {
+	for _, e := range edges {
+		// An out-of-range endpoint would otherwise surface as an opaque
+		// index-out-of-range on RowPtr (or worse, as silent corruption when
+		// only Dst is bad); fail loudly at the boundary instead.
+		if e.Src >= v || e.Dst >= v {
+			panic(fmt.Sprintf("graph: FromEdges(%q, V=%d): edge %d->%d out of range", name, v, e.Src, e.Dst))
+		}
+	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].Src != edges[j].Src {
 			return edges[i].Src < edges[j].Src

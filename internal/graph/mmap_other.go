@@ -1,0 +1,12 @@
+//go:build !unix
+
+package graph
+
+import "errors"
+
+// mmapFile on platforms without the unix mmap syscalls always fails, which
+// makes OpenSegment fall back to reading the file into memory. The Segment
+// API is identical either way; only Mapped() observes the difference.
+func mmapFile(string) ([]byte, func() error, error) {
+	return nil, nil, errors.New("graph: mmap unavailable on this platform")
+}

@@ -1,0 +1,33 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the bytes plus an unmap
+// function. Empty files cannot be mapped (mmap of length 0 is an error), so
+// they fall back to the heap path in OpenSegment — no valid segment is
+// empty anyway.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -30,6 +30,11 @@ type Tiling struct {
 // NewTiling builds the destination-range tiling with the given width.
 // width == 0 or width >= V yields a single tile (the non-tiling case).
 func NewTiling(g *CSR, width uint32) *Tiling {
+	if g.V == 0 {
+		// Clamping width to V would make it 0 and the tile-count division
+		// below would fault; an empty graph tiles into zero tiles.
+		return &Tiling{G: g, Width: 0, Tiles: nil}
+	}
 	if width == 0 || width >= g.V {
 		width = g.V
 	}

@@ -148,7 +148,7 @@ func TestCapacityFactor(t *testing.T) {
 
 func TestHighestDegreeVertex(t *testing.T) {
 	g := FromEdges("h", 5, []Edge{{2, 0, 1}, {2, 1, 1}, {2, 3, 1}, {0, 1, 1}})
-	if got := HighestDegreeVertex(g); got != 2 {
+	if got, ok := HighestDegreeVertex(g); !ok || got != 2 {
 		t.Errorf("HighestDegreeVertex = %d, want 2", got)
 	}
 }

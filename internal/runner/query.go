@@ -39,6 +39,12 @@ type Query struct {
 	// cannot usefully) set it; it is exported only so the content hash
 	// covers it.
 	Version uint64
+	// Digest is the segment content digest when Dataset names a stored
+	// graph (DESIGN.md §14) and empty otherwise. Like Version it is
+	// authoritative: RunQuery overwrites it from the registered segment
+	// before keying, so stored-graph results are content-addressed by the
+	// exact bytes on disk rather than by a mutable name.
+	Digest string
 }
 
 // canonical collapses spellings that execute identically onto one content
@@ -142,6 +148,11 @@ func (r *Runner) RunQueryInfo(ctx context.Context, q Query) (*algorithms.Referen
 }
 
 func (r *Runner) runQueryInfo(ctx context.Context, q Query) (*algorithms.ReferenceResult, QueryInfo, error) {
+	// Stored graphs (opened segments) shadow generator datasets of the
+	// same name and take the digest-keyed read-only path.
+	if se := r.stored.get(q.Dataset); se != nil {
+		return r.runStoredQuery(ctx, q, se, nil)
+	}
 	// Build (or fetch) the graph first: it resolves dataset errors before
 	// anything is cached, and CanonicalFor collapses every out-of-range
 	// Src onto the default so aliases share one cache entry.
@@ -227,6 +238,20 @@ func (r *Runner) runQueryInfo(ctx context.Context, q Query) (*algorithms.Referen
 // its execution mode.
 func (r *Runner) RunQueryTraced(ctx context.Context, q Query) (*algorithms.ReferenceResult, QueryInfo, *obs.Trace, error) {
 	start := time.Now()
+	if se := r.stored.get(q.Dataset); se != nil {
+		tr := obs.NewTrace()
+		res, info, err := r.runStoredQuery(ctx, q, se, tr)
+		if err != nil {
+			if ctxErr(err) {
+				r.metrics.observeQuery("canceled", start)
+			} else {
+				r.metrics.observeQuery("error", start)
+			}
+			return res, info, nil, err
+		}
+		r.metrics.observeQuery(info.Mode, start)
+		return res, info, tr, nil
+	}
 	g, err := r.graphs.get(q.Dataset, q.Scale)
 	if err != nil {
 		r.metrics.observeQuery("error", start)
@@ -296,7 +321,7 @@ func (r *Runner) execQuery(ctx context.Context, q Query, g *graph.CSR, tr *obs.T
 	if err != nil {
 		return nil, err
 	}
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	if q.Src >= 0 {
 		src = uint32(q.Src)
 	}

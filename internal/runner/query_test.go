@@ -49,7 +49,8 @@ func TestRunQueryMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	k, _ := algorithms.New("sssp")
-	ref := algorithms.RunReference(g, k, graph.HighestDegreeVertex(g), q.canonical().MaxIters)
+	src, _ := graph.HighestDegreeVertex(g)
+	ref := algorithms.RunReference(g, k, src, q.canonical().MaxIters)
 	if !reflect.DeepEqual(res.Prop, ref.Prop) || res.Iterations != ref.Iterations ||
 		res.EdgeVisits != ref.EdgeVisits {
 		t.Fatal("query result diverges from reference executor")

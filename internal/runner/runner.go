@@ -74,6 +74,10 @@ type Runner struct {
 	graphs  *graphCache
 	engines *engineCache
 	streams *streamCache
+	// stored holds the mmap'd on-disk segments registered via OpenStored /
+	// OpenGraphDir (stored.go); their names shadow generator datasets on
+	// the query path.
+	stored *storedRegistry
 	// queryKeys maps each graph to the query-cache keys stored for it, so
 	// ApplyUpdates can evict exactly the updated graph's entries.
 	queryKeys queryKeyIndex
@@ -99,6 +103,7 @@ func New(workers int) *Runner {
 		graphs:  newGraphCache(),
 		engines: newEngineCache(),
 		streams: newStreamCache(),
+		stored:  newStoredRegistry(),
 	}
 	r.metrics = newRunnerMetrics(r)
 	return r

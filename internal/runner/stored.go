@@ -1,0 +1,330 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"piccolo/internal/algorithms"
+	"piccolo/internal/engine"
+	"piccolo/internal/graph"
+	"piccolo/internal/obs"
+)
+
+// Stored graphs (DESIGN.md §14): segments opened from disk and registered
+// by name next to the generator datasets. A stored graph never rebuilds —
+// piccolo-serve -graph-dir mmaps it at startup — and its queries are keyed
+// by the segment's content digest, so two processes serving the same file
+// (or one process across restarts with a warm external cache) agree on the
+// address of every result. Stored graphs are read-only: ApplyUpdates
+// refuses them, so their version is always 0 and their cache entries can
+// never go stale.
+
+// SegmentExt is the conventional file extension for PICSEG01 segments
+// (cmd/graphgen -format segment writes it; Runner.OpenGraphDir loads it).
+const SegmentExt = ".pseg"
+
+// StoredInfo describes one registered stored graph.
+type StoredInfo struct {
+	Name     string `json:"name"`
+	Digest   string `json:"digest"`
+	Vertices uint32 `json:"vertices"`
+	Edges    uint64 `json:"edges"`
+	Blocks   int    `json:"blocks"`
+	Bytes    uint64 `json:"bytes"`
+	Mapped   bool   `json:"mapped"`
+}
+
+// storedEntry is one registered segment plus its lazily built engine.
+// Engines are not safe for concurrent Run, so the entry carries the mutex
+// that serializes runs, exactly like engineCache entries.
+type storedEntry struct {
+	seg *graph.Segment
+	mu  sync.Mutex // serializes Run (and SetWorkers) on eng; guards eng
+	eng *engine.Engine
+}
+
+// engineLocked returns the entry's engine, building it on first use. The
+// caller must hold se.mu.
+func (se *storedEntry) engineLocked(workers int) *engine.Engine {
+	if se.eng == nil {
+		se.eng = engine.NewFromStore(se.seg, engine.Config{Workers: workers})
+	}
+	return se.eng
+}
+
+// dropEngine discards the entry's engine so the next query rebuilds it
+// (the panic-recovery path, mirroring engineCache.evict).
+func (se *storedEntry) dropEngine() {
+	se.mu.Lock()
+	se.eng = nil
+	se.mu.Unlock()
+}
+
+// storedRegistry maps graph names to opened segments.
+type storedRegistry struct {
+	mu sync.Mutex
+	m  map[string]*storedEntry
+}
+
+func newStoredRegistry() *storedRegistry {
+	return &storedRegistry{m: map[string]*storedEntry{}}
+}
+
+func (c *storedRegistry) get(name string) *storedEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+func storedInfo(seg *graph.Segment) StoredInfo {
+	return StoredInfo{
+		Name:     seg.Name(),
+		Digest:   seg.Digest(),
+		Vertices: seg.NumVertices(),
+		Edges:    seg.NumEdges(),
+		Blocks:   seg.NumBlocks(),
+		Bytes:    seg.SizeBytes(),
+		Mapped:   seg.Mapped(),
+	}
+}
+
+// OpenStored opens and validates a segment file and registers it under its
+// embedded graph name, which queries then use as the Dataset. Reopening a
+// byte-identical file (equal digests) is a no-op; a name collision with a
+// different digest is an error — silently replacing a live graph under
+// in-flight queries is never what the operator meant. A stored name takes
+// precedence over a generator dataset of the same name on the query path.
+func (r *Runner) OpenStored(path string) (StoredInfo, error) {
+	seg, err := graph.OpenSegment(path)
+	if err != nil {
+		return StoredInfo{}, err
+	}
+	name := seg.Name()
+	if name == "" {
+		seg.Close()
+		return StoredInfo{}, fmt.Errorf("runner: segment %s has an empty graph name", path)
+	}
+	r.stored.mu.Lock()
+	defer r.stored.mu.Unlock()
+	if old := r.stored.m[name]; old != nil {
+		if old.seg.Digest() == seg.Digest() {
+			seg.Close()
+			return storedInfo(old.seg), nil
+		}
+		seg.Close()
+		return StoredInfo{}, fmt.Errorf("runner: stored graph %q already open with a different digest", name)
+	}
+	r.stored.m[name] = &storedEntry{seg: seg}
+	return storedInfo(seg), nil
+}
+
+// OpenGraphDir registers every *.pseg segment in dir (sorted by filename,
+// so registration order — and therefore which file wins a duplicate-name
+// conflict — is deterministic). It fails on the first unreadable or invalid
+// segment: a serving process must not come up quietly missing graphs.
+func (r *Runner) OpenGraphDir(dir string) ([]StoredInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), SegmentExt) {
+			paths = append(paths, filepath.Join(dir, ent.Name()))
+		}
+	}
+	sort.Strings(paths)
+	infos := make([]StoredInfo, 0, len(paths))
+	for _, p := range paths {
+		info, err := r.OpenStored(p)
+		if err != nil {
+			return infos, err
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// StoredGraphs lists the registered stored graphs sorted by name.
+func (r *Runner) StoredGraphs() []StoredInfo {
+	r.stored.mu.Lock()
+	infos := make([]StoredInfo, 0, len(r.stored.m))
+	for _, se := range r.stored.m {
+		infos = append(infos, storedInfo(se.seg))
+	}
+	r.stored.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// StoredDigest returns the content digest of the named stored graph, and
+// false when no such graph is registered.
+func (r *Runner) StoredDigest(name string) (string, bool) {
+	if se := r.stored.get(name); se != nil {
+		return se.seg.Digest(), true
+	}
+	return "", false
+}
+
+// KnownDataset reports whether name resolves on the query path: a stored
+// graph or a generator dataset proxy.
+func (r *Runner) KnownDataset(name string) bool {
+	if r.stored.get(name) != nil {
+		return true
+	}
+	_, err := graph.ByName(name)
+	return err == nil
+}
+
+// DatasetShape returns the vertex and edge counts of the named dataset —
+// from the segment header for a stored graph (scale is meaningless there
+// and ignored), from the built (and memoized) graph otherwise.
+func (r *Runner) DatasetShape(name string, sc graph.Scale) (v uint32, edges uint64, err error) {
+	if se := r.stored.get(name); se != nil {
+		return se.seg.NumVertices(), se.seg.NumEdges(), nil
+	}
+	g, err := r.graphs.get(name, sc)
+	if err != nil {
+		return 0, 0, err
+	}
+	return g.V, g.E(), nil
+}
+
+// runStoredQuery is the stored-graph arm of runQueryInfo: the same
+// single-flight query cache, but keyed on the segment's content digest
+// (Query.Digest) instead of a dataset version — a stored graph is immutable,
+// so its results are valid for exactly as long as the bytes on disk, and the
+// digest *is* those bytes. tr, when non-nil, selects the uncached traced
+// path (RunQueryTraced's contract).
+func (r *Runner) runStoredQuery(ctx context.Context, q Query, se *storedEntry, tr *obs.Trace) (*algorithms.ReferenceResult, QueryInfo, error) {
+	q = q.canonical()
+	if q.Src >= int64(se.seg.NumVertices()) {
+		q.Src = -1
+	}
+	q.Version = 0
+	q.Digest = se.seg.Digest()
+	edges := se.seg.NumEdges()
+	if tr != nil {
+		info := QueryInfo{Key: q.Key(), Mode: "engine", Edges: edges}
+		res, err := r.execStoredQuery(ctx, q, se, tr)
+		return res, info, err
+	}
+	for {
+		key := q.Key()
+		info := QueryInfo{Key: key, Mode: "cached"}
+		entry, c, leader := r.queries.lookup(key)
+		if c == nil {
+			info.Edges = entry.edges
+			return entry.res, info, nil // cache hit
+		}
+		if !leader {
+			select {
+			case <-c.done: // identical query already in flight
+			case <-ctx.Done():
+				return nil, info, ctx.Err()
+			}
+			if c.err != nil && ctxErr(c.err) {
+				continue // leader's deadline, not ours: retry for leadership
+			}
+			if c.err == nil {
+				info.Edges = c.res.edges
+			}
+			return c.res.res, info, c.err
+		}
+		info.Mode = "engine"
+		info.Edges = edges
+		res, err := r.execStoredQuery(ctx, q, se, nil)
+		r.queries.complete(key, c, queryEntry{res: res, edges: edges}, err, err == nil)
+		return res, info, err
+	}
+}
+
+// execStoredQuery runs the engine memoized on the stored entry, under the
+// same worker-pool discipline as execQuery: the entry lock first, then one
+// mandatory pool slot widened by whatever is free. Panics drop the engine
+// (its lazily built shard state may be half-constructed) and surface as
+// errors.
+func (r *Runner) execStoredQuery(ctx context.Context, q Query, se *storedEntry, tr *obs.Trace) (res *algorithms.ReferenceResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			se.dropEngine()
+			res, err = nil, fmt.Errorf("runner: query %s on stored %s panicked: %v",
+				q.Kernel, q.Dataset, p)
+		}
+	}()
+	k, err := algorithms.New(q.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	src, _ := graph.HighestDegreeVertexStore(se.seg)
+	if q.Src >= 0 {
+		src = uint32(q.Src)
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	eng := se.engineLocked(r.workers)
+	if tr != nil {
+		eng.SetTrace(tr)
+		defer eng.SetTrace(nil)
+	}
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	slots := 1
+	for slots < r.workers {
+		select {
+		case r.sem <- struct{}{}:
+			slots++
+			continue
+		default:
+		}
+		break
+	}
+	defer func() {
+		for i := 0; i < slots; i++ {
+			<-r.sem
+		}
+	}()
+	eng.SetWorkers(slots)
+	return eng.RunCtx(ctx, k, src, q.MaxIters)
+}
+
+// CloseStored unregisters and closes every stored graph. It must not race
+// in-flight queries (the serving process calls it after drain); it exists
+// so tests and orderly shutdowns release their mmaps.
+func (r *Runner) CloseStored() error {
+	r.stored.mu.Lock()
+	defer r.stored.mu.Unlock()
+	var first error
+	for name, se := range r.stored.m {
+		se.mu.Lock()
+		if err := se.seg.Close(); err != nil && first == nil {
+			first = err
+		}
+		se.eng = nil
+		se.mu.Unlock()
+		delete(r.stored.m, name)
+	}
+	return first
+}
+
+// storedReadOnlyErr is the rejection every mutation of a stored graph gets.
+func storedReadOnlyErr(name string) error {
+	return fmt.Errorf("runner: stored graph %q is read-only (segments have no update path)", name)
+}
+
+// rejectStoredUpdate refuses ApplyUpdates on stored graphs with a metrics
+// observation, keeping the caller's error-path behavior uniform.
+func (r *Runner) rejectStoredUpdate(name string, start time.Time) (uint64, error) {
+	err := storedReadOnlyErr(name)
+	r.metrics.observeUpdate(err, start)
+	return 0, err
+}

@@ -1,0 +1,157 @@
+package runner
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"piccolo/internal/algorithms"
+	"piccolo/internal/graph"
+	"piccolo/internal/stream"
+)
+
+// writeTestSegment writes g as a segment file and returns its path.
+func writeTestSegment(t *testing.T, dir string, g *graph.CSR) string {
+	t.Helper()
+	path := filepath.Join(dir, g.Name+SegmentExt)
+	if err := g.WriteSegmentFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenStoredAndQuery(t *testing.T) {
+	g := graph.Kronecker("stored-kron", 9, 8, 5)
+	r := New(2)
+	defer r.CloseStored()
+	info, err := r.OpenStored(writeTestSegment(t, t.TempDir(), g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "stored-kron" || info.Vertices != g.V || info.Edges != g.E() || info.Digest == "" {
+		t.Fatalf("info = %+v, want shape of %q", info, g.Name)
+	}
+
+	q := Query{Dataset: "stored-kron", Kernel: "pr", Src: -1}
+	res, qi, err := r.RunQueryInfo(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qi.Mode != "engine" || qi.Version != 0 || qi.Edges != g.E() {
+		t.Fatalf("info = %+v, want engine-served version-0 result", qi)
+	}
+	k, _ := algorithms.New("pr")
+	src, _ := graph.HighestDegreeVertex(g)
+	ref := algorithms.RunReference(g, k, src, q.canonical().MaxIters)
+	if !reflect.DeepEqual(res.Prop, ref.Prop) || res.Iterations != ref.Iterations {
+		t.Fatal("stored query diverges from reference executor")
+	}
+
+	again, qi2, err := r.RunQueryInfo(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qi2.Mode != "cached" || again != res {
+		t.Fatalf("second submission: mode %q, cached=%v", qi2.Mode, again == res)
+	}
+
+	// The cache key is digest-addressed: the same query with the right
+	// digest pre-filled keys identically, a different digest does not.
+	keyed := q.canonical()
+	keyed.Digest = info.Digest
+	if keyed.Key() != qi.Key {
+		t.Fatalf("digest-keyed query hashes to %s, served key %s", keyed.Key(), qi.Key)
+	}
+	other := keyed
+	other.Digest = "not-the-digest"
+	if other.Key() == qi.Key {
+		t.Fatal("digest is not part of the content address")
+	}
+}
+
+func TestStoredReadOnly(t *testing.T) {
+	g := graph.Uniform("stored-uni", 200, 4, 9)
+	r := New(1)
+	defer r.CloseStored()
+	if _, err := r.OpenStored(writeTestSegment(t, t.TempDir(), g)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.ApplyUpdates(context.Background(), "stored-uni", graph.ScaleTiny,
+		[]stream.EdgeUpdate{{Src: 0, Dst: 1, Weight: 1}})
+	if err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("want read-only rejection, got %v", err)
+	}
+}
+
+func TestOpenGraphDir(t *testing.T) {
+	dir := t.TempDir()
+	ga := graph.Uniform("dir-a", 100, 3, 1)
+	gb := graph.Uniform("dir-b", 80, 3, 2)
+	writeTestSegment(t, dir, ga)
+	writeTestSegment(t, dir, gb)
+	r := New(1)
+	defer r.CloseStored()
+	infos, err := r.OpenGraphDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "dir-a" || infos[1].Name != "dir-b" {
+		t.Fatalf("infos = %+v, want dir-a, dir-b", infos)
+	}
+	// Idempotent for byte-identical files.
+	if _, err := r.OpenGraphDir(dir); err != nil {
+		t.Fatalf("reopening identical dir: %v", err)
+	}
+	if got := r.StoredGraphs(); len(got) != 2 {
+		t.Fatalf("StoredGraphs lists %d entries, want 2", len(got))
+	}
+	// A same-name file with different bytes is a conflict, not a silent swap.
+	ga2 := graph.Uniform("dir-a", 100, 3, 7)
+	conflictDir := t.TempDir()
+	writeTestSegment(t, conflictDir, ga2)
+	if _, err := r.OpenGraphDir(conflictDir); err == nil ||
+		!strings.Contains(err.Error(), "different digest") {
+		t.Fatalf("want digest-conflict error, got %v", err)
+	}
+
+	if !r.KnownDataset("dir-a") || !r.KnownDataset("SW") || r.KnownDataset("no-such") {
+		t.Fatal("KnownDataset misclassifies")
+	}
+	v, e, err := r.DatasetShape("dir-b", 0)
+	if err != nil || v != gb.V || e != gb.E() {
+		t.Fatalf("DatasetShape(dir-b) = (%d, %d, %v), want (%d, %d, nil)", v, e, err, gb.V, gb.E())
+	}
+	if _, ok := r.StoredDigest("dir-a"); !ok {
+		t.Fatal("StoredDigest(dir-a) not found")
+	}
+}
+
+// TestStoredQueryTraced checks the traced path works for stored graphs and
+// bypasses the cache.
+func TestStoredQueryTraced(t *testing.T) {
+	g := graph.Uniform("stored-tr", 300, 4, 4)
+	r := New(2)
+	defer r.CloseStored()
+	if _, err := r.OpenStored(writeTestSegment(t, t.TempDir(), g)); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Dataset: "stored-tr", Kernel: "bfs", Src: -1}
+	res, info, tr, err := r.RunQueryTraced(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || len(tr.Spans()) == 0 {
+		t.Fatal("traced stored query returned no spans")
+	}
+	if info.Mode != "engine" {
+		t.Fatalf("mode %q, want engine", info.Mode)
+	}
+	k, _ := algorithms.New("bfs")
+	src, _ := graph.HighestDegreeVertex(g)
+	ref := algorithms.RunReference(g, k, src, q.canonical().MaxIters)
+	if !reflect.DeepEqual(res.Prop, ref.Prop) {
+		t.Fatal("traced stored query diverges from reference")
+	}
+}

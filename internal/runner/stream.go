@@ -102,6 +102,12 @@ func (r *Runner) ApplyUpdates(ctx context.Context, dataset string, sc graph.Scal
 		r.metrics.observeUpdate(err, start)
 		return 0, err
 	}
+	if r.stored.get(dataset) != nil {
+		// Stored graphs are immutable on-disk segments — there is no
+		// overlay to version, and "updating" one would silently fork it
+		// from its digest-addressed cache entries.
+		return r.rejectStoredUpdate(dataset, start)
+	}
 	g, err := r.graphs.get(dataset, sc)
 	if err != nil {
 		r.metrics.observeUpdate(err, start)

@@ -54,7 +54,7 @@ func TestApplyUpdatesDifferential(t *testing.T) {
 				k, _ := algorithms.New(kernel)
 				src := uint32(0)
 				if kernel != "pr" && kernel != "cc" {
-					src = graph.HighestDegreeVertex(refG)
+					src, _ = graph.HighestDegreeVertex(refG)
 				}
 				ref := algorithms.RunReference(refG, k, src, engine.DefaultMaxIters)
 				for v := range ref.Prop {

@@ -73,7 +73,7 @@ func BenchmarkFullRecomputeBFS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	src := graph.HighestDegreeVertex(g)
+	src, _ := graph.HighestDegreeVertex(g)
 	e.Run(k, src, engine.DefaultMaxIters) // warm buffers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

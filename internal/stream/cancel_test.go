@@ -64,7 +64,7 @@ func TestQueryCtxCancelDeterminism(t *testing.T) {
 				}
 				src := uint32(0)
 				if kernel != "pr" && kernel != "cc" {
-					src = graph.HighestDegreeVertex(refG)
+					src, _ = graph.HighestDegreeVertex(refG)
 				}
 				ref := algorithms.RunReference(refG, k, src, engine.DefaultMaxIters)
 

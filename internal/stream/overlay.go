@@ -64,7 +64,7 @@ type Overlay struct {
 // mutated afterwards.
 func NewOverlay(base *graph.CSR) *Overlay {
 	o := &Overlay{base: base, delta: map[uint32][]halfEdge{}}
-	o.bestV = graph.HighestDegreeVertex(base)
+	o.bestV, _ = graph.HighestDegreeVertex(base)
 	if base.V > 0 {
 		o.bestDeg = base.OutDeg(o.bestV)
 	}

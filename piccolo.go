@@ -160,9 +160,33 @@ func GenerateWattsStrogatz(name string, v uint32, k int, beta float64, seed int6
 // writes it).
 func LoadGraph(path string) (*Graph, error) { return graph.ReadFile(path) }
 
+// GraphStore is read-only graph storage the engine can execute against
+// directly: the in-RAM CSR (GraphAsStore) or an mmap'd on-disk segment
+// (OpenSegment). See DESIGN.md §14.
+type GraphStore = graph.GraphStore
+
+// Segment is an opened on-disk compressed graph (PICSEG01): delta-varint
+// adjacency in cache-sized blocks behind an mmap'd fixed-width row index,
+// decoded on demand instead of materialized. Close releases the mapping.
+type Segment = graph.Segment
+
+// OpenSegment opens and fully validates a segment file written by
+// WriteSegmentFile (or cmd/graphgen -format segment), mmap'ing it when the
+// platform allows and falling back to a heap copy otherwise.
+func OpenSegment(path string) (*Segment, error) { return graph.OpenSegment(path) }
+
+// WriteSegmentFile writes g as a compressed segment at path. The graphgen
+// command exposes this as -format segment.
+func WriteSegmentFile(g *Graph, path string) error { return g.WriteSegmentFile(path) }
+
+// GraphAsStore adapts an in-RAM graph to the GraphStore interface with
+// zero copies.
+func GraphAsStore(g *Graph) GraphStore { return graph.AsStore(g) }
+
 // HighestDegreeVertex returns the smallest vertex id of maximum out-degree
-// — the default traversal source everywhere a negative src is given.
-func HighestDegreeVertex(g *Graph) uint32 { return graph.HighestDegreeVertex(g) }
+// — the default traversal source everywhere a negative src is given. For a
+// 0-vertex graph there is no such vertex and ok is false.
+func HighestDegreeVertex(g *Graph) (v uint32, ok bool) { return graph.HighestDegreeVertex(g) }
 
 // Reference runs the simulation-free executor and returns the converged
 // vertex properties and iteration count — handy for validating custom
@@ -212,6 +236,11 @@ func NewKernel(name string) (Kernel, error) { return algorithms.New(name) }
 // NewEngine builds a parallel engine for g.
 func NewEngine(g *Graph, cfg EngineConfig) *Engine { return engine.New(g, cfg) }
 
+// NewStoreEngine builds a parallel engine over any GraphStore — an in-RAM
+// CSR or an opened segment — with results bit-identical to NewEngine on the
+// equivalent graph at every worker count and direction choice.
+func NewStoreEngine(s GraphStore, cfg EngineConfig) *Engine { return engine.NewFromStore(s, cfg) }
+
 // RunKernel executes a kernel on g with the sharded parallel engine and
 // returns a result bit-identical to Reference. A src that is negative or
 // at/beyond g.V selects the highest-out-degree vertex (as core.Run does);
@@ -222,7 +251,7 @@ func RunKernel(kernel string, g *Graph, src int64, maxIters, workers int) (*Kern
 	if err != nil {
 		return nil, err
 	}
-	s := graph.HighestDegreeVertex(g)
+	s, _ := graph.HighestDegreeVertex(g)
 	if src >= 0 && src < int64(g.V) {
 		s = uint32(src)
 	}
