@@ -168,7 +168,7 @@ func engineTable(sc graph.Scale, kind string, workers int) *stats.Table {
 		}
 		for _, k := range algorithms.All() {
 			maxIters := engine.DefaultMaxIters
-			if k.AllActive() {
+			if k.Descriptor().AllActive {
 				maxIters = 40
 			}
 			start := time.Now()

@@ -452,6 +452,29 @@ func (s *server) httpTimeout(w http.ResponseWriter, err error, partial map[strin
 	json.NewEncoder(w).Encode(body)
 }
 
+// kernelError answers an unknown-kernel error with the one normalized
+// shape every endpoint shares — HTTP 400 and
+//
+//	{"error": "...", "kernel": "<rejected name>", "supported": ["pr", ...]}
+//
+// — so clients can recover the rejected name and the server's kernel list
+// without parsing the message. Reports false (and writes nothing) when err
+// is not an unknown-kernel error.
+func kernelError(w http.ResponseWriter, err error) bool {
+	var uk *algorithms.UnknownKernelError
+	if !errors.As(err, &uk) {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":     uk.Error(),
+		"kernel":    uk.Name,
+		"supported": uk.Supported,
+	})
+	return true
+}
+
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -481,6 +504,9 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := q.job()
 	if err != nil {
+		if kernelError(w, err) {
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -528,6 +554,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	q, topK, err := req.query()
 	if err != nil {
+		if kernelError(w, err) {
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -586,6 +615,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	top, err := engine.TopK(q.Kernel, res.Prop, topK)
 	if err != nil {
+		// An unknown kernel is the client's fault even this late (the 400
+		// shape is the same one query() produces); anything else — a label
+		// out of range, a kernel with no ranking — is a server-side bug.
+		if kernelError(w, err) {
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -691,6 +726,9 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, jq := range q.Jobs {
 		job, err := jq.job()
 		if err != nil {
+			if kernelError(w, err) {
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
 			return
 		}
@@ -739,6 +777,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, map[string]any{
 		"workers":             s.runner.Workers(),
+		"kernels":             algorithms.Capabilities(),
 		"uptime_s":            time.Since(s.started).Seconds(),
 		"graphs_loaded":       s.runner.GraphsLoaded(),
 		"stored_graphs":       s.runner.StoredGraphs(),

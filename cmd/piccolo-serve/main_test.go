@@ -146,7 +146,19 @@ func TestStatsAndHealth(t *testing.T) {
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %v %v", err, resp)
 	}
+	var health healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
+	if len(health.Kernels) != len(algorithms.Names()) {
+		t.Errorf("healthz lists %d kernels, registry has %d", len(health.Kernels), len(algorithms.Names()))
+	}
+	for i, c := range health.Kernels {
+		if c.Name != algorithms.Names()[i] || c.Version < 1 || c.Repair == "" || c.Source == "" {
+			t.Errorf("healthz kernel capability %d implausible: %+v", i, c)
+		}
+	}
 	resp, err = http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -156,9 +168,100 @@ func TestStatsAndHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	for _, k := range []string{"workers", "cache_hits", "cache_misses", "cache_hit_rate", "batches"} {
+	for _, k := range []string{"workers", "kernels", "cache_hits", "cache_misses", "cache_hit_rate", "batches"} {
 		if _, ok := st[k]; !ok {
 			t.Errorf("stats missing %q: %v", k, st)
+		}
+	}
+	if ks, ok := st["kernels"].([]any); !ok || len(ks) != len(algorithms.Names()) {
+		t.Errorf("stats kernels = %v, want %d capability entries", st["kernels"], len(algorithms.Names()))
+	}
+}
+
+// TestUnknownKernelShape: every endpoint that takes a kernel name answers
+// an unknown one with 400 and the one normalized JSON shape
+// {"error", "kernel", "supported"} (satellite: clients should not have to
+// parse messages to learn what the server runs).
+func TestUnknownKernelShape(t *testing.T) {
+	_, ts := testServer(t)
+	for name, c := range map[string]struct {
+		path string
+		body any
+	}{
+		"run":   {"/run", jobRequest{Dataset: "UU", Kernel: "dijkstra", Scale: "tiny"}},
+		"sweep": {"/sweep", map[string]any{"jobs": []jobRequest{{Dataset: "UU", Kernel: "dijkstra", Scale: "tiny"}}}},
+		"query": {"/query", queryRequest{Dataset: "SW", Kernel: "dijkstra", Scale: "tiny"}},
+	} {
+		resp := post(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+		var body struct {
+			Error     string   `json:"error"`
+			Kernel    string   `json:"kernel"`
+			Supported []string `json:"supported"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: decoding error body: %v", name, err)
+		}
+		resp.Body.Close()
+		if body.Error == "" || body.Kernel != "dijkstra" {
+			t.Errorf("%s: error body = %+v, want the rejected kernel named", name, body)
+		}
+		if len(body.Supported) != len(algorithms.Names()) {
+			t.Errorf("%s: supported = %v, want the full registry", name, body.Supported)
+		}
+	}
+}
+
+// TestQueryNewKernels drives label propagation, k-core and personalized
+// PageRank through POST /query — the kernels that landed via the
+// capability registry, with no serve-layer special cases — and checks each
+// result bit-for-bit against the reference on the same graph.
+func TestQueryNewKernels(t *testing.T) {
+	s, ts := testServer(t)
+	g, err := s.runner.Graph("SW", graph.ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kernel := range []string{"lp", "kcore", "ppr"} {
+		resp := post(t, ts.URL+"/query", queryRequest{Dataset: "SW", Kernel: kernel, Scale: "tiny", TopK: 4})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d", kernel, resp.StatusCode)
+		}
+		var out queryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if out.Kernel != kernel || out.Vertices != g.V || out.Iterations == 0 {
+			t.Fatalf("%s: implausible response: %+v", kernel, out)
+		}
+		if len(out.Top) == 0 || len(out.Top) > 4 {
+			t.Fatalf("%s: top-k size = %d, want 1..4", kernel, len(out.Top))
+		}
+
+		k, err := algorithms.New(kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := k.Descriptor()
+		src := algorithms.ResolveSource(d, -1, g.V, func() uint32 {
+			hd, _ := graph.HighestDegreeVertex(g)
+			return hd
+		})
+		ref := algorithms.RunReference(g, k, src, algorithms.EffectiveMaxIters(d, 0, engine.DefaultMaxIters))
+		res, err := s.runner.RunQuery(context.Background(), runner.Query{Dataset: "SW", Kernel: kernel, Scale: graph.ScaleTiny, Src: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != ref.Iterations {
+			t.Fatalf("%s: query iterations = %d, reference %d", kernel, res.Iterations, ref.Iterations)
+		}
+		for v := range ref.Prop {
+			if res.Prop[v] != ref.Prop[v] {
+				t.Fatalf("%s: query prop[%d] = %#x, reference %#x", kernel, v, res.Prop[v], ref.Prop[v])
+			}
 		}
 	}
 }

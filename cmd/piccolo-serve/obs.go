@@ -21,6 +21,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"piccolo/internal/algorithms"
 	"piccolo/internal/obs"
 )
 
@@ -167,13 +168,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // state to tell a cold instance from a warm one (satellite: bare 200s
 // say nothing about what is actually serving).
 type healthResponse struct {
-	Status       string  `json:"status"`
-	Version      string  `json:"version"`
-	Revision     string  `json:"revision,omitempty"`
-	GoVersion    string  `json:"go_version"`
-	GraphsLoaded int     `json:"graphs_loaded"`
-	Workers      int     `json:"workers"`
-	UptimeS      float64 `json:"uptime_s"`
+	Status       string                  `json:"status"`
+	Version      string                  `json:"version"`
+	Revision     string                  `json:"revision,omitempty"`
+	GoVersion    string                  `json:"go_version"`
+	GraphsLoaded int                     `json:"graphs_loaded"`
+	Workers      int                     `json:"workers"`
+	UptimeS      float64                 `json:"uptime_s"`
+	Kernels      []algorithms.Capability `json:"kernels"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -186,6 +188,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		GraphsLoaded: s.runner.GraphsLoaded(),
 		Workers:      s.runner.Workers(),
 		UptimeS:      time.Since(s.started).Seconds(),
+		Kernels:      algorithms.Capabilities(),
 	})
 }
 

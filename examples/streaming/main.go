@@ -76,10 +76,15 @@ func main() {
 }
 
 // src mirrors the DynamicEngine's source canonicalization for the
-// reference run: traversal kernels start at the current highest-out-degree
-// vertex.
+// reference run, reading the kernel's descriptor instead of matching
+// names: vertex-sourced kernels start at the current highest-out-degree
+// vertex, source-free kernels at 0.
 func src(d *piccolo.DynamicEngine, kernel string) uint32 {
-	if kernel == "pr" || kernel == "cc" {
+	k, err := piccolo.NewKernel(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if k.Descriptor().Source != piccolo.SourceVertex {
 		return 0
 	}
 	v, _ := piccolo.HighestDegreeVertex(d.Graph())

@@ -28,7 +28,8 @@ func TestPropertyAnySystemMatchesReference(t *testing.T) {
 	f := func(seed int64, sysRaw, kernelRaw, tileRaw uint8) bool {
 		g := GenerateKronecker("prop", 8, 4, seed)
 		sys := Systems()[int(sysRaw)%len(Systems())]
-		kernel := Kernels()[int(kernelRaw)%len(Kernels())]
+		names := KernelNames()
+		kernel := names[int(kernelRaw)%len(names)]
 		cfg := Config{
 			System:    sys,
 			Kernel:    kernel,

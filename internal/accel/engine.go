@@ -186,7 +186,7 @@ func (e *Engine) runIteration() error {
 		prMoved = prMoved || moved
 		e.drainCollection()
 	}
-	if e.k.AllActive() {
+	if e.k.Descriptor().AllActive {
 		for v := range nextActive {
 			nextActive[v] = prMoved
 		}
@@ -246,7 +246,7 @@ func (e *Engine) edgePhase(tile *graph.Tile) []uint32 {
 func (e *Engine) applyPhase(tile *graph.Tile, touched []uint32, nextActive []bool) (bool, error) {
 	var vertices []uint32
 	switch {
-	case e.k.AllActive() || e.cfg.System == Graphicionado:
+	case e.k.Descriptor().AllActive || e.cfg.System == Graphicionado:
 		// PR applies everywhere; Graphicionado's updater additionally
 		// scans the whole tile regardless of algorithm.
 		vertices = make([]uint32, 0, tile.DstHi-tile.DstLo)
@@ -279,7 +279,7 @@ func (e *Engine) applyPhase(tile *graph.Tile, touched []uint32, nextActive []boo
 		e.res.ApplyVisits++
 		return changed
 	}
-	if e.k.AllActive() {
+	if e.k.Descriptor().AllActive {
 		for _, v := range vertices {
 			if applyValue(v) {
 				moved = true

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -28,7 +29,11 @@ func diamond() *graph.CSR {
 }
 
 func TestNewAndAll(t *testing.T) {
-	for _, name := range []string{"pr", "bfs", "cc", "sssp", "sswp"} {
+	wantOrder := []string{"pr", "bfs", "cc", "sssp", "sswp", "kcore", "lp", "ppr"}
+	if got := Names(); !slicesEqual(got, wantOrder) {
+		t.Fatalf("Names() = %v, want %v (paper kernels first, extras in file order)", got, wantOrder)
+	}
+	for _, name := range Names() {
 		k, err := New(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -36,13 +41,39 @@ func TestNewAndAll(t *testing.T) {
 		if k.Name() == "" {
 			t.Errorf("%s: empty name", name)
 		}
+		if k.Descriptor().Name != name {
+			t.Errorf("%s: descriptor name %q mismatch", name, k.Descriptor().Name)
+		}
 	}
-	if _, err := New("dijkstra"); err == nil {
-		t.Error("unknown kernel accepted")
-	}
-	if len(All()) != 5 {
+	if len(All()) != len(wantOrder) {
 		t.Errorf("All() = %d kernels", len(All()))
 	}
+	_, err := New("dijkstra")
+	if err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if !errors.Is(err, ErrUnknownKernel) {
+		t.Errorf("unknown-kernel error %v does not wrap ErrUnknownKernel", err)
+	}
+	var uk *UnknownKernelError
+	if !errors.As(err, &uk) {
+		t.Fatalf("unknown-kernel error %T is not *UnknownKernelError", err)
+	}
+	if uk.Name != "dijkstra" || len(uk.Supported) != len(wantOrder) {
+		t.Errorf("UnknownKernelError = %+v", uk)
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestBFSLevels(t *testing.T) {
@@ -224,7 +255,10 @@ func TestBFSMatchesSimpleBFS(t *testing.T) {
 func TestReduceIdentityProperty(t *testing.T) {
 	f := func(x uint64) bool {
 		for _, k := range All() {
-			if k.Reduce(x, k.Identity()) != x && k.Name() != "PR" {
+			// The float-summing kernels only satisfy bitwise identity on
+			// the non-negative finite domain (laws_test covers that);
+			// arbitrary bit patterns include -0.0 and NaNs.
+			if k.Reduce(x, k.Identity()) != x && !k.Descriptor().OrderSensitiveReduce {
 				return false
 			}
 			if k.Reduce(x, k.Identity()) != k.Reduce(k.Identity(), x) {
@@ -241,7 +275,7 @@ func TestReduceIdentityProperty(t *testing.T) {
 func TestMonotoneApplyIdentityIsNoop(t *testing.T) {
 	f := func(x uint64) bool {
 		for _, k := range All() {
-			if k.AllActive() {
+			if !k.Descriptor().Monotone {
 				continue
 			}
 			if k.Apply(x, k.Identity()) != x {

@@ -16,11 +16,18 @@ import (
 
 const lawTrials = 2000
 
-// monotoneKernels are the four kernels whose Reduce is an exact lattice
-// operation (min or max on uint64) and whose Apply folds the old property
-// with the same operation.
+// monotoneKernels are the registered kernels whose descriptor declares a
+// monotone fold: Reduce is an exact lattice operation (min or max on
+// uint64) and Apply folds the old property with the same operation
+// (bfs, cc, sssp, sswp today).
 func monotoneKernels() []Kernel {
-	return []Kernel{BFS{}, CC{}, SSSP{}, SSWP{}}
+	var ms []Kernel
+	for _, k := range All() {
+		if k.Descriptor().Monotone {
+			ms = append(ms, k)
+		}
+	}
+	return ms
 }
 
 // randOperand draws from the monotone kernels' full contribution domain:
@@ -57,8 +64,8 @@ func TestReduceCommutative(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, k := range All() {
 		draw := randOperand
-		if k.AllActive() {
-			draw = randRank // PR: IEEE addition is commutative on finite operands
+		if k.Descriptor().OrderSensitiveReduce {
+			draw = randRank // PR/PPR: IEEE addition is commutative on finite operands
 		}
 		for i := 0; i < lawTrials; i++ {
 			a, b := draw(rng), draw(rng)
@@ -89,8 +96,8 @@ func TestReduceIdentityNeutral(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, k := range All() {
 		draw := randOperand
-		if k.AllActive() {
-			// PR identity is +0.0; x + 0.0 == x bitwise for every
+		if k.Descriptor().OrderSensitiveReduce {
+			// PR/PPR identity is +0.0; x + 0.0 == x bitwise for every
 			// non-negative finite x (only -0.0 would flip sign bits, and
 			// ranks are never negative).
 			draw = randRank

@@ -55,7 +55,7 @@ func RunReference(g *graph.CSR, k Kernel, src uint32, maxIters int) *ReferenceRe
 			}
 		}
 		nextActive := make([]bool, g.V)
-		if k.AllActive() {
+		if k.Descriptor().AllActive {
 			// PR-style: every vertex applies (missing contributions are the
 			// identity) and stays active while any property still moves.
 			moved := false

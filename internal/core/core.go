@@ -40,8 +40,10 @@ type Config struct {
 	EdgeCentric bool // §VII-H
 	Window      int
 
-	// Source vertex for BFS/SSSP/SSWP; -1 selects the highest-degree
-	// vertex (the default).
+	// Src follows the kernel descriptor's source role: a source vertex
+	// for the traversal kernels (-1 selects the highest-degree vertex,
+	// the default), a kernel parameter for param kernels, ignored
+	// otherwise.
 	Src int64
 }
 
@@ -142,12 +144,10 @@ func Run(cfg Config, g *graph.CSR) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := uint32(0)
-	if cfg.Src >= 0 && cfg.Src < int64(g.V) {
-		src = uint32(cfg.Src)
-	} else {
-		src, _ = graph.HighestDegreeVertex(g)
-	}
+	src := algorithms.ResolveSource(k.Descriptor(), cfg.Src, g.V, func() uint32 {
+		s, _ := graph.HighestDegreeVertex(g)
+		return s
+	})
 	ares, err := eng.Run(src)
 	if err != nil {
 		return nil, err
@@ -241,12 +241,10 @@ func Validate(cfg Config, g *graph.CSR, res *Result) error {
 	if maxIters == 0 {
 		maxIters = 40
 	}
-	src := uint32(0)
-	if cfg.Src >= 0 && cfg.Src < int64(g.V) {
-		src = uint32(cfg.Src)
-	} else {
-		src, _ = graph.HighestDegreeVertex(g)
-	}
+	src := algorithms.ResolveSource(k.Descriptor(), cfg.Src, g.V, func() uint32 {
+		s, _ := graph.HighestDegreeVertex(g)
+		return s
+	})
 	ref := algorithms.RunReference(g, k, src, maxIters)
 	if ref.Iterations != res.Iterations {
 		return fmt.Errorf("core: %d iterations, reference %d", res.Iterations, ref.Iterations)

@@ -25,7 +25,15 @@ func benchKernel(b *testing.B, kernel string, maxIters, workers int, dir Directi
 	if err != nil {
 		b.Fatal(err)
 	}
-	src, _ := graph.HighestDegreeVertex(g)
+	// Descriptor-driven defaults, exactly like the query path: maxIters 0
+	// selects the kernel's own cap, and the source resolves per its role
+	// (highest-degree vertex for traversals, the default parameter for
+	// kcore, ignored for pr/cc/lp).
+	maxIters = algorithms.EffectiveMaxIters(k.Descriptor(), maxIters, DefaultMaxIters)
+	src := algorithms.ResolveSource(k.Descriptor(), -1, g.V, func() uint32 {
+		hd, _ := graph.HighestDegreeVertex(g)
+		return hd
+	})
 	var edges uint64
 	if workers == 0 {
 		b.ResetTimer()
@@ -71,4 +79,23 @@ func BenchmarkEnginePR(b *testing.B) {
 // completion from the highest-degree vertex across traversal directions.
 func BenchmarkEngineBFS(b *testing.B) {
 	benchDirections(b, "bfs", DefaultMaxIters)
+}
+
+// BenchmarkEngineLP benchmarks label propagation — frontier-driven like
+// BFS but non-monotone, bounded at its descriptor's round cap.
+func BenchmarkEngineLP(b *testing.B) {
+	benchDirections(b, "lp", 0) // 0 → the descriptor's default cap
+}
+
+// BenchmarkEngineKCore benchmarks k-core peeling: an all-active
+// iterate-to-fixpoint kernel whose per-iteration cost is the whole edge
+// set until the death cascade settles.
+func BenchmarkEngineKCore(b *testing.B) {
+	benchDirections(b, "kcore", DefaultMaxIters)
+}
+
+// BenchmarkEnginePPR benchmarks personalized PageRank (dense mode, PPR
+// fast path) at the same iteration budget as the pr benchmark.
+func BenchmarkEnginePPR(b *testing.B) {
+	benchDirections(b, "ppr", 10)
 }

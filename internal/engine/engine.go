@@ -373,7 +373,7 @@ func (e *Engine) RunCtx(ctx context.Context, k algorithms.Kernel, src uint32, ma
 	e.curPull = false
 	e.remIn = e.nEdges
 	var err error
-	if k.AllActive() {
+	if k.Descriptor().AllActive {
 		err = e.runDense(ctx, k, prop, active, maxIters, res)
 	} else {
 		err = e.runSparse(ctx, k, prop, active, maxIters, res)

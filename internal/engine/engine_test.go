@@ -63,9 +63,16 @@ func TestEngineMatchesReference(t *testing.T) {
 	}
 }
 
-// opaqueKernel hides the concrete kernel type from fastOpsFor, forcing the
+// opaqueKernel hides the kernel from fastOpsFor — the registry is keyed by
+// descriptor name, so the wrapper reports a masked name — forcing the
 // engine down the generic interface loops.
 type opaqueKernel struct{ algorithms.Kernel }
+
+func (o opaqueKernel) Descriptor() algorithms.Descriptor {
+	d := o.Kernel.Descriptor()
+	d.Name = "opaque-" + d.Name
+	return d
+}
 
 // TestEngineGenericPathMatchesReference re-runs the differential check with
 // the per-kernel fast paths disabled, so the generic Process/Reduce loops —

@@ -42,22 +42,33 @@ type fastOps struct {
 	densePull func(vtemp []uint64, t *pullTile, contrib []uint64)
 }
 
-// fastOpsFor resolves the specialized loops for the five paper kernels;
-// nil selects the generic interface path.
+// fastOpsRegistry maps a kernel's Descriptor().Name to its monomorphized
+// loops. Keying by descriptor name (not Go type) keeps the engine free of
+// per-kernel type switches: the loops below are registered implementations
+// of the correspondingly named registry kernels, and a custom kernel under
+// a new name simply misses and runs generically. A custom kernel must not
+// reuse a registered name with different semantics — algorithms.Register
+// already enforces name uniqueness for everything reachable through the
+// registry.
+var fastOpsRegistry = map[string]*fastOps{}
+
+func registerFastOps(k algorithms.Kernel, ops *fastOps) {
+	fastOpsRegistry[k.Descriptor().Name] = ops
+}
+
+func init() {
+	registerFastOps(algorithms.PageRank{}, &fastOps{dense: densePR, densePrep: densePrepPR, densePull: densePullPR})
+	registerFastOps(algorithms.BFS{}, &fastOps{stream: streamBFS, scatter: scatterBFS, gather: gatherMin, pull: pullBFS})
+	registerFastOps(algorithms.CC{}, &fastOps{stream: streamCC, scatter: scatterCC, gather: gatherMin, pull: pullCC})
+	registerFastOps(algorithms.SSSP{}, &fastOps{stream: streamSSSP, scatter: scatterSSSP, gather: gatherMin, pull: pullSSSP})
+	registerFastOps(algorithms.SSWP{}, &fastOps{stream: streamSSWP, scatter: scatterSSWP, gather: gatherMax, pull: pullSSWP})
+	registerFastOps(algorithms.PPR{}, &fastOps{dense: densePPR, densePrep: densePrepPPR, densePull: densePullPR})
+}
+
+// fastOpsFor resolves the specialized loops for a kernel; nil selects the
+// generic interface path.
 func fastOpsFor(k algorithms.Kernel) *fastOps {
-	switch k.(type) {
-	case algorithms.PageRank:
-		return &fastOps{dense: densePR, densePrep: densePrepPR, densePull: densePullPR}
-	case algorithms.BFS:
-		return &fastOps{stream: streamBFS, scatter: scatterBFS, gather: gatherMin, pull: pullBFS}
-	case algorithms.CC:
-		return &fastOps{stream: streamCC, scatter: scatterCC, gather: gatherMin, pull: pullCC}
-	case algorithms.SSSP:
-		return &fastOps{stream: streamSSSP, scatter: scatterSSSP, gather: gatherMin, pull: pullSSSP}
-	case algorithms.SSWP:
-		return &fastOps{stream: streamSSWP, scatter: scatterSSWP, gather: gatherMax, pull: pullSSWP}
-	}
-	return nil
+	return fastOpsRegistry[k.Descriptor().Name]
 }
 
 // densePR: Process = bits(rank/deg), Reduce = float64 sum. deg ≥ 1 because
@@ -300,6 +311,32 @@ func pullSSWP(vtemp []uint64, t *pullTile, prop []uint64, _ []uint32, active []u
 		}
 	}
 	return touched
+}
+
+// pprSrcMask clears the PPR kernel's source marker (the float64 sign bit —
+// ranks are non-negative, so the bit is free to tag the personalization
+// source; see algorithms.PPR). PageRank props never set it, so these loops
+// are PPR-only registrations.
+const pprSrcMask = ^(uint64(1) << 63)
+
+// densePPR: Process = bits(abs(rank)/deg), Reduce = float64 sum — densePR
+// with the source marker stripped before the division.
+func densePPR(vtemp []uint64, col []uint32, _ []uint8, pu uint64, deg uint32) {
+	c := math.Float64frombits(pu&pprSrcMask) / float64(deg)
+	for _, v := range col {
+		vtemp[v] = math.Float64bits(math.Float64frombits(vtemp[v]) + c)
+	}
+}
+
+// densePrepPPR materializes each source's PPR contribution once per
+// iteration: bits(abs(rank)/deg); the fold itself then reuses densePullPR
+// (the prepped contributions carry no marker).
+func densePrepPPR(contrib, prop []uint64, degs []uint32, lo, hi uint32) {
+	for u := lo; u < hi; u++ {
+		if d := degs[u]; d > 0 {
+			contrib[u] = math.Float64bits(math.Float64frombits(prop[u]&pprSrcMask) / float64(d))
+		}
+	}
 }
 
 // densePrepPR materializes each source's PageRank contribution once per

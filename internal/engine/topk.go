@@ -2,8 +2,9 @@ package engine
 
 import (
 	"fmt"
-	"math"
 	"sort"
+
+	"piccolo/internal/algorithms"
 )
 
 // VertexScore is one ranked vertex in a TopK result.
@@ -13,54 +14,42 @@ type VertexScore struct {
 }
 
 // TopK ranks a kernel's converged property array and returns the k most
-// interesting vertices with kernel-appropriate semantics:
+// interesting vertices. The ordering comes entirely from the registered
+// kernel's Descriptor().Rank declaration (direction, per-vertex score or
+// label-group sizes, exclusion of unreached vertices) — there is no
+// per-kernel dispatch here, so a newly registered kernel is rankable with
+// no engine change. An unknown name returns the registry's typed
+// *algorithms.UnknownKernelError.
+func TopK(kernel string, prop []uint64, k int) ([]VertexScore, error) {
+	kn, err := algorithms.New(kernel)
+	if err != nil {
+		return nil, err
+	}
+	return TopKRanked(kn.Descriptor(), prop, k)
+}
+
+// TopKRanked ranks prop per the descriptor's Rank declaration:
 //
-//   - pr:   highest rank first (score = the float64 rank)
-//   - bfs:  closest reachable vertices first (score = hop count; unreached
-//     vertices are excluded)
-//   - sssp: closest reachable vertices first (score = distance)
-//   - sswp: widest path capacity first (score = capacity; the source's
-//     "infinite" capacity surfaces as 2^64; unreachable vertices are
-//     excluded)
-//   - cc:   largest components first (Vertex = the component's minimum
-//     label, score = component size)
+//   - Rank.Score maps each property word to a score (ok=false excludes the
+//     vertex — unreached, peeled away);
+//   - Rank.ByLabel treats properties as group labels and ranks labels by
+//     member count (Vertex = the label);
+//   - Rank.Descending picks the sort direction.
 //
 // Ties break toward the lower vertex ID, so the ranking is deterministic.
 // Candidates stream through a size-k selection heap, so the cost is
 // O(V log k), not O(V log V) — this runs per request on the serving path.
-func TopK(kernel string, prop []uint64, k int) ([]VertexScore, error) {
+func TopKRanked(d algorithms.Descriptor, prop []uint64, k int) ([]VertexScore, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("engine: negative top-k %d", k)
 	}
-	inf := uint64(math.MaxUint64)
-	acc := topAcc{k: k}
-	switch kernel {
-	case "pr":
-		acc.descending = true
-		for v, p := range prop {
-			acc.add(VertexScore{Vertex: uint32(v), Score: math.Float64frombits(p)})
-		}
-	case "bfs", "sssp":
-		for v, p := range prop {
-			if p == inf {
-				continue // unreached
-			}
-			acc.add(VertexScore{Vertex: uint32(v), Score: float64(p)})
-		}
-	case "sswp":
-		acc.descending = true
-		for v, p := range prop {
-			if p == 0 {
-				continue // unreachable
-			}
-			acc.add(VertexScore{Vertex: uint32(v), Score: float64(p)})
-		}
-	case "cc":
-		acc.descending = true
+	acc := topAcc{k: k, descending: d.Rank.Descending}
+	switch {
+	case d.Rank.ByLabel:
 		sizes := make([]uint32, len(prop))
 		for v, label := range prop {
 			if label >= uint64(len(prop)) {
-				return nil, fmt.Errorf("engine: cc label %d of vertex %d out of range", label, v)
+				return nil, fmt.Errorf("engine: %s label %d of vertex %d out of range", d.Name, label, v)
 			}
 			sizes[label]++
 		}
@@ -69,8 +58,16 @@ func TopK(kernel string, prop []uint64, k int) ([]VertexScore, error) {
 				acc.add(VertexScore{Vertex: uint32(label), Score: float64(n)})
 			}
 		}
+	case d.Rank.Score != nil:
+		for v, p := range prop {
+			if s, ok := d.Rank.Score(p); ok {
+				acc.add(VertexScore{Vertex: uint32(v), Score: s})
+			}
+		}
 	default:
-		return nil, fmt.Errorf("engine: unknown kernel %q for top-k", kernel)
+		// Register rejects rankless descriptors, so only a hand-built
+		// Descriptor can reach this.
+		return nil, fmt.Errorf("engine: kernel %q declares no top-k ranking", d.Name)
 	}
 	return acc.result(), nil
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"piccolo/internal/accel"
+	"piccolo/internal/algorithms"
 	"piccolo/internal/core"
 	"piccolo/internal/dram"
 	"piccolo/internal/graph"
@@ -48,7 +49,10 @@ var kernelOrder = []string{"pr", "bfs", "cc", "sssp", "sswp"}
 var realOrder = []string{"UU", "TW", "SW", "FS", "PP"}
 
 func (o Options) maxIters(kernel string) int {
-	if kernel == "pr" {
+	// All-active kernels (descriptor trait) pay the full edge set every
+	// iteration, so the figure suite caps them at the PR iteration budget;
+	// frontier kernels converge on their own well inside 40.
+	if k, err := algorithms.New(kernel); err == nil && k.Descriptor().AllActive {
 		return o.prIters()
 	}
 	return 40
@@ -320,20 +324,15 @@ func systemNames() []string {
 	return out
 }
 
+// kernelName returns the kernel's display name (Kernel.Name — "PR",
+// "BFS", ...) for table headers, falling back to the raw string for
+// unregistered names.
 func kernelName(k string) string {
-	switch k {
-	case "pr":
-		return "PR"
-	case "bfs":
-		return "BFS"
-	case "cc":
-		return "CC"
-	case "sssp":
-		return "SSSP"
-	case "sswp":
-		return "SSWP"
+	kn, err := algorithms.New(k)
+	if err != nil {
+		return k
 	}
-	return k
+	return kn.Name()
 }
 
 // ---------------------------------------------------------------------------

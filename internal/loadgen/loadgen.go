@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"piccolo/internal/algorithms"
 	"piccolo/internal/obs"
 )
 
@@ -46,7 +47,7 @@ type Config struct {
 	// Dataset and Scale name the target graph (defaults "UU", "tiny").
 	Dataset string
 	Scale   string
-	// Kernels cycle per query (default pr, bfs, cc, sssp, sswp).
+	// Kernels cycle per query (default: every registered kernel).
 	Kernels []string
 	// SrcSpread bounds the random query source (cache-busting knob):
 	// sources are drawn uniformly from [0, SrcSpread). 0 disables the
@@ -110,7 +111,7 @@ func (c Config) withDefaults() Config {
 		c.Scale = "tiny"
 	}
 	if len(c.Kernels) == 0 {
-		c.Kernels = []string{"pr", "bfs", "cc", "sssp", "sswp"}
+		c.Kernels = algorithms.Names()
 	}
 	if c.BatchEdges <= 0 {
 		c.BatchEdges = 8

@@ -22,15 +22,17 @@ import (
 type Query struct {
 	// Dataset names a Table II proxy (UU, TW, SW, FS, PP, WS26, ...).
 	Dataset string
-	// Kernel is pr, bfs, cc, sssp or sswp.
+	// Kernel is a registered kernel name (algorithms.Names()).
 	Kernel string
 	Scale  graph.Scale
-	// Src is the traversal source; negative or at/beyond the graph's
-	// vertex count selects the highest-out-degree vertex (canonicalized
-	// to -1 against the built graph, exactly as core.Run treats
-	// Config.Src).
+	// Src's meaning follows the kernel descriptor's source role: ignored,
+	// a traversal source vertex (negative or at/beyond the graph's vertex
+	// count selects the highest-out-degree vertex, canonicalized to -1
+	// against the built graph), or a kernel parameter (k-core's k;
+	// negative selects the descriptor default, canonicalized to -1).
 	Src int64
-	// MaxIters caps the iteration count; 0 selects engine.DefaultMaxIters.
+	// MaxIters caps the iteration count; 0 selects the kernel's
+	// DefaultMaxIters, then engine.DefaultMaxIters.
 	MaxIters int
 	// Version is the graph version the query addresses — the number of
 	// update batches applied to (Dataset, Scale) via Runner.ApplyUpdates
@@ -45,36 +47,71 @@ type Query struct {
 	// before keying, so stored-graph results are content-addressed by the
 	// exact bytes on disk rather than by a mutable name.
 	Digest string
+	// KernelV is the kernel's descriptor version, folded into the content
+	// address so a semantics bump invalidates cached results computed
+	// under the old behavior. Authoritative like Version: canonical()
+	// overwrites it from the registry, so callers cannot usefully set it.
+	KernelV int
 }
 
 // canonical collapses spellings that execute identically onto one content
-// address. The engine's worker count is deliberately NOT part of the
-// identity: the engine is bit-deterministic at every worker count, so the
-// result is the same whatever parallelism executed it. Src values at or
-// beyond the graph's vertex count also alias -1, but collapsing them needs
-// the graph — RunQuery does it before keying.
+// address, consulting the kernel's descriptor: a source-ignoring kernel
+// aliases every Src to -1, a param kernel keeps any non-negative Src
+// (params are not vertex-bounded), and the iteration default is the
+// kernel's own cap before engine.DefaultMaxIters. The descriptor version
+// is stamped into KernelV so semantics bumps re-address. The engine's
+// worker count is deliberately NOT part of the identity: the engine is
+// bit-deterministic at every worker count, so the result is the same
+// whatever parallelism executed it. Vertex-source Src values at or beyond
+// the graph's vertex count also alias -1, but collapsing them needs the
+// graph — RunQuery does it before keying. An unregistered kernel name
+// canonicalizes shape-only; the typed unknown-kernel error surfaces at
+// execution.
 func (q Query) canonical() Query {
 	if q.Src < 0 {
 		q.Src = -1
 	}
-	if q.MaxIters <= 0 {
-		q.MaxIters = engine.DefaultMaxIters
+	k, err := algorithms.New(q.Kernel)
+	if err != nil {
+		q.KernelV = 0
+		if q.MaxIters <= 0 {
+			q.MaxIters = engine.DefaultMaxIters
+		}
+		return q
 	}
+	d := k.Descriptor()
+	q.KernelV = d.Version
+	if d.Source == algorithms.SourceIgnored {
+		q.Src = -1
+	}
+	q.MaxIters = algorithms.EffectiveMaxIters(d, q.MaxIters, engine.DefaultMaxIters)
 	return q
 }
 
 // CanonicalFor returns the fully canonical form of q for graph g — the
-// form RunQuery keys the cache with: defaults applied and any Src at or
-// beyond g.V collapsed to -1 (the highest-out-degree default, exactly as
-// core.Run treats Config.Src). Callers that surface Key() next to a
-// result, like piccolo-serve, canonicalize with this instead of
-// re-implementing the rule.
+// form RunQuery keys the cache with: defaults applied and, for kernels
+// whose descriptor declares a vertex source, any Src at or beyond g.V
+// collapsed to -1 (the highest-out-degree default, exactly as core.Run
+// treats Config.Src). Callers that surface Key() next to a result, like
+// piccolo-serve, canonicalize with this instead of re-implementing the
+// rule.
 func (q Query) CanonicalFor(g *graph.CSR) Query {
 	q = q.canonical()
-	if q.Src >= int64(g.V) {
+	if q.Src >= int64(g.V) && kernelSourceIsVertex(q.Kernel) {
 		q.Src = -1
 	}
 	return q
+}
+
+// kernelSourceIsVertex reports whether the named kernel's src argument is
+// a vertex id (and thus subject to vertex-count collapsing); unregistered
+// names default to true, matching the pre-registry behavior.
+func kernelSourceIsVertex(name string) bool {
+	k, err := algorithms.New(name)
+	if err != nil {
+		return true
+	}
+	return k.Descriptor().Source == algorithms.SourceVertex
 }
 
 // Key returns the query's canonical content hash (without the graph-aware
@@ -321,10 +358,10 @@ func (r *Runner) execQuery(ctx context.Context, q Query, g *graph.CSR, tr *obs.T
 	if err != nil {
 		return nil, err
 	}
-	src, _ := graph.HighestDegreeVertex(g)
-	if q.Src >= 0 {
-		src = uint32(q.Src)
-	}
+	src := algorithms.ResolveSource(k.Descriptor(), q.Src, g.V, func() uint32 {
+		s, _ := graph.HighestDegreeVertex(g)
+		return s
+	})
 	e := r.engines.get(q.Dataset, q.Scale, g, r.workers)
 	e.mu.Lock()
 	defer e.mu.Unlock()

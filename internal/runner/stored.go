@@ -204,7 +204,7 @@ func (r *Runner) DatasetShape(name string, sc graph.Scale) (v uint32, edges uint
 // path (RunQueryTraced's contract).
 func (r *Runner) runStoredQuery(ctx context.Context, q Query, se *storedEntry, tr *obs.Trace) (*algorithms.ReferenceResult, QueryInfo, error) {
 	q = q.canonical()
-	if q.Src >= int64(se.seg.NumVertices()) {
+	if q.Src >= int64(se.seg.NumVertices()) && kernelSourceIsVertex(q.Kernel) {
 		q.Src = -1
 	}
 	q.Version = 0
@@ -262,10 +262,10 @@ func (r *Runner) execStoredQuery(ctx context.Context, q Query, se *storedEntry, 
 	if err != nil {
 		return nil, err
 	}
-	src, _ := graph.HighestDegreeVertexStore(se.seg)
-	if q.Src >= 0 {
-		src = uint32(q.Src)
-	}
+	src := algorithms.ResolveSource(k.Descriptor(), q.Src, se.seg.NumVertices(), func() uint32 {
+		s, _ := graph.HighestDegreeVertexStore(se.seg)
+		return s
+	})
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	eng := se.engineLocked(r.workers)

@@ -62,11 +62,12 @@ func TestQueryCtxCancelDeterminism(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				src := uint32(0)
-				if kernel != "pr" && kernel != "cc" {
-					src, _ = graph.HighestDegreeVertex(refG)
-				}
-				ref := algorithms.RunReference(refG, k, src, engine.DefaultMaxIters)
+				src := algorithms.ResolveSource(k.Descriptor(), -1, refG.V, func() uint32 {
+					hd, _ := graph.HighestDegreeVertex(refG)
+					return hd
+				})
+				maxIters := algorithms.EffectiveMaxIters(k.Descriptor(), 0, engine.DefaultMaxIters)
+				ref := algorithms.RunReference(refG, k, src, maxIters)
 
 				// Count checkpoints for this version's first (uncached) query
 				// by running it against a throwaway clone of the state: the

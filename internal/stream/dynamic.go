@@ -94,15 +94,19 @@ const maxKernelStates = 64
 // for concurrent use; queries and updates serialize on one mutex (like
 // engine.Engine, build one per independent stream).
 //
-// Exactness contract (DESIGN.md §10): Query returns vertex properties
+// Exactness contract (DESIGN.md §10, §15): Query returns vertex properties
 // bit-identical to algorithms.RunReference on the materialized post-update
-// graph. The monotone kernels (bfs, cc, sssp, sswp) get true incremental
-// repair — their fixed points are unique, so re-activating only vertices
-// whose fold inputs changed converges to exactly the reference bits.
-// PageRank's reference result is a truncated float64 power-iteration
-// trajectory, which no sub-linear repair can reproduce bit-for-bit, so
-// exact pr queries fall back to a full engine.Run; ApproxPageRank is the
-// incremental delta-PageRank path with an explicit tolerance.
+// graph, with the incremental path selected by the kernel's declared
+// repair strategy. Monotone-worklist kernels (bfs, cc, sssp, sswp) get
+// true incremental repair — their fixed points are unique, so
+// re-activating only vertices whose fold inputs changed converges to
+// exactly the reference bits. Residual kernels (pr, ppr) have reference
+// results that are truncated float64 power-iteration trajectories, which
+// no sub-linear repair can reproduce bit-for-bit, so their exact queries
+// fall back to a full engine.Run; ApproxPageRank and
+// ApproxPersonalizedPageRank are the incremental delta-PageRank paths with
+// an explicit tolerance. Full-recompute kernels (lp, kcore) declare no
+// incremental path and always run in full.
 type DynamicEngine struct {
 	mu      sync.Mutex
 	ov      *Overlay
@@ -119,7 +123,10 @@ type DynamicEngine struct {
 	states map[stateKey]*kernelState
 	eng    *engine.Engine // engine on the materialized CSR
 	engVer uint64
-	pr     *prState
+	// prs holds the delta-PR (estimate, residual) states, keyed by
+	// teleport: prGlobal for uniform teleport, a vertex id for
+	// personalized (deltapr.go).
+	prs map[int64]*prState
 
 	// repair scratch, sized V.
 	inQueue []bool
@@ -146,6 +153,7 @@ func New(base *graph.CSR, cfg Config) *DynamicEngine {
 		fatFrac: cfg.FatFraction,
 		compact: cfg.CompactThreshold,
 		states:  map[stateKey]*kernelState{},
+		prs:     map[int64]*prState{},
 	}
 	if d.fatFrac == 0 {
 		d.fatFrac = 0.25
@@ -251,10 +259,10 @@ func (d *DynamicEngine) ApplyUpdates(batch []EdgeUpdate) (uint64, error) {
 		d.log = append(d.log[:0], d.log[drop:]...)
 		d.logBase += uint64(drop)
 	}
-	// Delta-PR state repairs eagerly per batch (its residual adjustments
+	// Delta-PR states repair eagerly per batch (their residual adjustments
 	// need the pre-batch degrees, which are cheapest to reconstruct right
 	// at the boundary — deltapr.go).
-	if d.pr != nil {
+	if len(d.prs) > 0 {
 		d.prAbsorbBatch(batch)
 	}
 	threshold := d.compact
@@ -269,18 +277,13 @@ func (d *DynamicEngine) ApplyUpdates(batch []EdgeUpdate) (uint64, error) {
 }
 
 // resolveSrc canonicalizes a query source exactly as piccolo.RunKernel
-// does, but against the current overlay: negative or out-of-range selects
-// the highest-out-degree vertex at the current version. Kernels that
-// ignore the source (pr, cc) canonicalize to 0 so their cached state is
-// shared across spellings.
-func (d *DynamicEngine) resolveSrc(kernel string, src int64) uint32 {
-	if kernel == "pr" || kernel == "cc" {
-		return 0
-	}
-	if src >= 0 && src < int64(d.ov.V()) {
-		return uint32(src)
-	}
-	return d.ov.HighestDegreeVertex()
+// does, but against the current overlay: the descriptor's source role
+// decides whether src is ignored (canonicalized to 0 so cached state is
+// shared across spellings), a kernel parameter (negative selects the
+// descriptor default), or a source vertex (negative or out-of-range
+// selects the highest-out-degree vertex at the current version).
+func (d *DynamicEngine) resolveSrc(desc algorithms.Descriptor, src int64) uint32 {
+	return algorithms.ResolveSource(desc, src, d.ov.V(), d.ov.HighestDegreeVertex)
 }
 
 // Query executes the kernel at the current graph version and returns
@@ -328,34 +331,43 @@ func (d *DynamicEngine) QueryTracedCtx(ctx context.Context, kernel string, src i
 	if err != nil {
 		return nil, QueryInfo{}, err
 	}
+	desc := k.Descriptor()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.ov.V() == 0 {
 		return nil, QueryInfo{}, fmt.Errorf("stream: query on empty graph")
 	}
-	if maxIters <= 0 {
-		maxIters = engine.DefaultMaxIters
-	}
-	s := d.resolveSrc(kernel, src)
+	defaultCap := algorithms.EffectiveMaxIters(desc, 0, engine.DefaultMaxIters)
+	maxIters = algorithms.EffectiveMaxIters(desc, maxIters, engine.DefaultMaxIters)
+	s := d.resolveSrc(desc, src)
 	cur := d.ov.Version()
 	info := QueryInfo{Version: cur, Edges: d.ov.E()}
 
-	// Only the default cap is repairable: states are fixed points reached
-	// under DefaultMaxIters, and serving one for a different explicit cap
+	// Only default-cap queries touch the state memo: states are results
+	// reached under that cap, and serving one for a different explicit cap
 	// could disagree with a reference run truncated at that cap (e.g. a
 	// cap above the default but below the graph's convergence length).
-	repairable := kernel != "pr" && maxIters == engine.DefaultMaxIters && d.fatFrac > 0
+	cacheable := maxIters == defaultCap
+	// Only kernels declaring monotone-worklist repair have an incremental
+	// exact path — residual kernels (pr, ppr) serve exact queries by full
+	// recompute (their reference bits are a truncated float trajectory)
+	// with the residual machinery on the Approx* side, and full-recompute
+	// kernels (lp, kcore) declare no repair at all; both still serve
+	// same-version repeats from the memo (execution is deterministic, so
+	// an unchanged graph means unchanged bits).
+	repairable := desc.Repair == algorithms.RepairMonotoneWorklist &&
+		cacheable && d.fatFrac > 0
 	key := stateKey{kernel: kernel, src: s}
-	if repairable {
+	if cacheable {
 		if st := d.states[key]; st != nil {
 			if st.version == cur {
 				d.stats.CachedServes++
 				info.Mode = "cached"
 				return &algorithms.ReferenceResult{Prop: slices.Clone(st.prop)}, info, nil
 			}
-			if st.version >= d.logBase {
+			if repairable && st.version >= d.logBase {
 				t0 := time.Now()
-				res, touched, edges, ok, rerr := d.repair(ctx, k, kernel, st, cur)
+				res, touched, edges, ok, rerr := d.repair(ctx, k, desc, st, cur)
 				if ok {
 					d.stats.IncrementalRepairs++
 					info.Mode = "incremental"
@@ -390,11 +402,15 @@ func (d *DynamicEngine) QueryTracedCtx(ctx context.Context, kernel string, src i
 	if err != nil {
 		return res, info, err
 	}
-	if repairable && res.Iterations < maxIters {
-		// Converged — a true fixed point, the only thing repair may start
-		// from. The state owns its own copy so later repairs cannot
-		// mutate the result we are about to return (the runner caches
-		// it).
+	// Memoize for same-version repeats — and, for monotone-worklist
+	// kernels, as the seed of future repairs. A repairable state must be a
+	// true fixed point (repair resumes the worklist from it); iteration-
+	// capped results are still valid to *serve* at this exact version, but
+	// for repairable kernels they must not enter the memo at all, since the
+	// memo doubles as the repair seed. The state owns its own copy so later
+	// repairs cannot mutate the result we are about to return (the runner
+	// caches it).
+	if cacheable && (!repairable || res.Iterations < maxIters) {
 		if len(d.states) >= maxKernelStates {
 			for k := range d.states { // arbitrary eviction: costs a future full run, never correctness
 				delete(d.states, k)
@@ -427,22 +443,6 @@ func (d *DynamicEngine) fullRunTracedCtx(ctx context.Context, k algorithms.Kerne
 	return d.eng.RunCtx(ctx, k, src, maxIters)
 }
 
-// unusableProp returns the property value marking "this vertex has no
-// information to propagate yet" for a monotone kernel, and whether such a
-// value exists. Sources holding it are skipped during repair: for bfs and
-// sssp the unreached marker is MaxUint64 and Process would overflow it;
-// for sswp a zero width contributes the Reduce identity; cc labels are
-// always meaningful.
-func unusableProp(kernel string) (uint64, bool) {
-	switch kernel {
-	case "bfs", "sssp":
-		return ^uint64(0), true
-	case "sswp":
-		return 0, true
-	}
-	return 0, false
-}
-
 // repair advances a fixed point from st.version to the current version by
 // monotone re-activation: the sources of the inserted edges seed a
 // worklist, and any vertex whose property improves re-scans its out-edges
@@ -460,12 +460,17 @@ func unusableProp(kernel string) (uint64, bool) {
 // so cancellation leaves nothing half-advanced observable. The returned
 // touched count is the touched-set size: distinct worklist enqueues, i.e.
 // vertices whose property the repair improved.
-func (d *DynamicEngine) repair(ctx context.Context, k algorithms.Kernel, kernel string, st *kernelState, cur uint64) (*algorithms.ReferenceResult, uint64, uint64, bool, error) {
+func (d *DynamicEngine) repair(ctx context.Context, k algorithms.Kernel, desc algorithms.Descriptor, st *kernelState, cur uint64) (*algorithms.ReferenceResult, uint64, uint64, bool, error) {
 	if d.inQueue == nil {
 		d.inQueue = make([]bool, d.ov.V())
 	}
 	prop := st.prop
-	unusable, hasUnusable := unusableProp(kernel)
+	// The descriptor's Unusable marker is the property value meaning "this
+	// vertex has no information to propagate yet"; sources holding it are
+	// skipped (bfs/sssp: Process would overflow MaxUint64, sswp: zero width
+	// contributes the Reduce identity; cc declares none — labels are always
+	// meaningful).
+	unusable, hasUnusable := desc.Unusable, desc.HasUnusable
 	budget := uint64(d.fatFrac * float64(d.ov.E()))
 	var visited, touched uint64
 
@@ -478,8 +483,9 @@ func (d *DynamicEngine) repair(ctx context.Context, k algorithms.Kernel, kernel 
 		}
 	}
 	// Seed: fold every inserted edge's contribution directly into its
-	// destination (srcDeg is irrelevant — only PageRank's Process reads
-	// it, and pr never takes this path).
+	// destination (srcDeg is irrelevant — only the rank kernels' Process
+	// reads it, and they never take this path: repair is reserved for
+	// monotone-worklist kernels).
 	ok := true
 	for i := st.version - d.logBase; i < uint64(len(d.log)) && ok; i++ {
 		for _, e := range d.log[i] {

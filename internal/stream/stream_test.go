@@ -24,7 +24,10 @@ func testGraphs() []*graph.CSR {
 	}
 }
 
-var allKernels = []string{"pr", "bfs", "cc", "sssp", "sswp"}
+// allKernels is every registered kernel: the differential suite runs the
+// full registry, so a kernel landing through the capability API is held to
+// the same bit-identical post-update bar as the paper's five.
+var allKernels = algorithms.Names()
 
 // randomBatch draws n random edge insertions over [0, v).
 func randomBatch(rng *rand.Rand, v uint32, n int) []EdgeUpdate {
@@ -61,11 +64,15 @@ func checkQuery(t *testing.T, d *DynamicEngine, refG *graph.CSR, kernel string) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := uint32(0)
-	if kernel != "pr" && kernel != "cc" {
-		src, _ = graph.HighestDegreeVertex(refG)
-	}
-	ref := algorithms.RunReference(refG, k, src, engine.DefaultMaxIters)
+	// Mirror the engine's own resolution: descriptor-driven source (the
+	// highest-degree default for vertex-sourced kernels, the parameter
+	// default for param kernels) and descriptor-capped iterations.
+	src := algorithms.ResolveSource(k.Descriptor(), -1, refG.V, func() uint32 {
+		hd, _ := graph.HighestDegreeVertex(refG)
+		return hd
+	})
+	maxIters := algorithms.EffectiveMaxIters(k.Descriptor(), 0, engine.DefaultMaxIters)
+	ref := algorithms.RunReference(refG, k, src, maxIters)
 	if len(res.Prop) != len(ref.Prop) {
 		t.Fatalf("%s: prop length %d, reference %d", kernel, len(res.Prop), len(ref.Prop))
 	}
@@ -453,6 +460,112 @@ func TestApproxPageRank(t *testing.T) {
 	}
 	if st := d.Stats(); st.DeltaPRQueries != 5 {
 		t.Fatalf("delta-PR queries = %d, want 5", st.DeltaPRQueries)
+	}
+}
+
+// TestApproxPersonalizedPageRank exercises the ppr descriptor's residual
+// repair path: the per-source delta-PR estimate must track the exact ppr
+// query across update batches, per source, and repeated queries at an
+// unchanged version must be free.
+func TestApproxPersonalizedPageRank(t *testing.T) {
+	base := testGraphs()[1]
+	d := New(base, Config{})
+	rng := rand.New(rand.NewSource(52))
+	hd, _ := graph.HighestDegreeVertex(base)
+	sources := []int64{int64(hd), 0, 7}
+
+	check := func(stage string, src int64) {
+		t.Helper()
+		approx, info, err := d.ApproxPersonalizedPageRank(src, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Mode != "incremental" {
+			t.Fatalf("%s: mode %q, want incremental", stage, info.Mode)
+		}
+		exact, _, err := d.Query("ppr", src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range approx {
+			// The exact kernel keeps its personalization flag in bit 63.
+			want := math.Float64frombits(exact.Prop[v] &^ (1 << 63))
+			if diff := math.Abs(approx[v] - want); diff > 1e-4*math.Max(1, want) {
+				t.Fatalf("%s src %d: vertex %d: approx %.9f, exact %.9f (diff %g)",
+					stage, src, v, approx[v], want, diff)
+			}
+		}
+	}
+
+	for _, src := range sources {
+		check("initial", src)
+	}
+	initPushes := d.Stats().DeltaPRPushes
+	if _, _, err := d.ApproxPersonalizedPageRank(sources[0], 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if again := d.Stats().DeltaPRPushes; again != initPushes {
+		t.Errorf("repeat personalized query pushed %d residuals, want 0", again-initPushes)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.ApplyUpdates(randomBatch(rng, base.V, 4)); err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range sources {
+			check(fmt.Sprintf("after batch %d", i+1), src)
+		}
+	}
+	// Mass conservation: a personalized vector sums to ~1 (restart mass),
+	// minus what dangling vertices drop.
+	approx, _, err := d.ApproxPersonalizedPageRank(sources[0], 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range approx {
+		sum += p
+	}
+	if sum <= 0 || sum > 1+1e-6 {
+		t.Fatalf("personalized mass sums to %g, want in (0, 1]", sum)
+	}
+}
+
+// TestFullRecomputeKernels pins the repair strategy the lp and kcore
+// descriptors declare: their dynamics are not monotone under insertions, so
+// after an update the engine must never serve them incrementally — the
+// first query at a new version is a full run (then cached) — while staying
+// bit-identical to the reference on the materialized graph.
+func TestFullRecomputeKernels(t *testing.T) {
+	for _, kernel := range []string{"lp", "kcore"} {
+		t.Run(kernel, func(t *testing.T) {
+			d := algorithms.MustDescriptor(kernel)
+			if d.Repair != algorithms.RepairFullRecompute {
+				t.Fatalf("descriptor declares %v, want full-recompute", d.Repair)
+			}
+			base := testGraphs()[2]
+			rng := rand.New(rand.NewSource(53))
+			eng := New(base, Config{Workers: 3})
+			edges := base.Edges()
+			for round := 0; round < 3; round++ {
+				batch := randomBatch(rng, base.V, 10)
+				if _, err := eng.ApplyUpdates(batch); err != nil {
+					t.Fatal(err)
+				}
+				edges = append(edges, asEdges(batch)...)
+				refG := graph.FromEdges(base.Name, base.V, slices.Clone(edges))
+				if info := checkQuery(t, eng, refG, kernel); info.Mode != "full" {
+					t.Fatalf("round %d: mode %q, want full (non-monotone kernels must not repair)",
+						round, info.Mode)
+				}
+				// Same version again: served from the result cache.
+				if info := checkQuery(t, eng, refG, kernel); info.Mode != "cached" {
+					t.Fatalf("round %d: repeat mode %q, want cached", round, info.Mode)
+				}
+			}
+			if st := eng.Stats(); st.IncrementalRepairs != 0 {
+				t.Fatalf("stats = %+v: full-recompute kernel was repaired incrementally", st)
+			}
+		})
 	}
 }
 

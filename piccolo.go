@@ -86,8 +86,20 @@ func HBM() MemoryConfig           { return dram.HBM() }
 // Enhanced applies the §VIII-B design tweaks to a memory configuration.
 func Enhanced(cfg MemoryConfig) MemoryConfig { return dram.Enhanced(cfg) }
 
-// Kernels returns the kernel names accepted by Config.Kernel.
-func Kernels() []string { return []string{"pr", "bfs", "cc", "sssp", "sswp"} }
+// KernelCapability describes one registered kernel: its name, descriptor
+// version and the capability traits clients can rely on (monotone,
+// all-active, pull support, source role, repair strategy). piccolo-serve
+// returns the same list in GET /healthz and /stats.
+type KernelCapability = algorithms.Capability
+
+// Kernels enumerates the registered kernels with their capabilities, in
+// registration order. Kernel names for Config.Kernel and Query.Kernel come
+// from the Name field; KernelNames returns just those.
+func Kernels() []KernelCapability { return algorithms.Capabilities() }
+
+// KernelNames returns the registered kernel names in registration order —
+// the strings accepted by Config.Kernel, Query.Kernel and NewKernel.
+func KernelNames() []string { return algorithms.Names() }
 
 // Run simulates the configured system executing the kernel on g.
 func Run(cfg Config, g *Graph) (*Result, error) { return core.Run(cfg, g) }
@@ -227,10 +239,56 @@ type VertexScore = engine.VertexScore
 type Query = runner.Query
 
 // Kernel is one vertex-centric algorithm (Process/Reduce/Apply of the
-// paper's Algorithm 1), accepted by Engine.Run.
+// paper's Algorithm 1), accepted by Engine.Run. Every kernel carries a
+// Descriptor declaring its capabilities (DESIGN.md §15).
 type Kernel = algorithms.Kernel
 
-// NewKernel resolves a kernel by name: pr, bfs, cc, sssp, sswp.
+// KernelDescriptor is a kernel's capability declaration: convergence
+// discipline, source role, repair strategy, top-k ranking. All engine
+// layers dispatch on it; none special-case kernel names.
+type KernelDescriptor = algorithms.Descriptor
+
+// SourceRole says what a kernel does with the src argument.
+type SourceRole = algorithms.SourceRole
+
+// The source roles a descriptor can declare.
+const (
+	SourceIgnored = algorithms.SourceIgnored // kernel takes no source (pr, cc, lp)
+	SourceVertex  = algorithms.SourceVertex  // src is a start vertex (bfs, sssp, sswp, ppr)
+	SourceParam   = algorithms.SourceParam   // src is a kernel parameter (kcore's k)
+)
+
+// RepairStrategy says how a kernel's results are maintained under
+// streaming edge insertions.
+type RepairStrategy = algorithms.RepairStrategy
+
+// The repair strategies a descriptor can declare.
+const (
+	RepairFullRecompute    = algorithms.RepairFullRecompute    // non-monotone: rerun (lp, kcore)
+	RepairMonotoneWorklist = algorithms.RepairMonotoneWorklist // exact incremental repair (bfs, cc, sssp, sswp)
+	RepairResidual         = algorithms.RepairResidual         // delta-PR residual pushes (pr, ppr)
+)
+
+// ErrUnknownKernel is the sentinel every unknown-kernel-name error wraps;
+// errors.Is(err, ErrUnknownKernel) matches it across Run, RunKernel,
+// queries and TopK.
+var ErrUnknownKernel = algorithms.ErrUnknownKernel
+
+// UnknownKernelError is the concrete unknown-kernel error, carrying the
+// rejected name and the supported list (errors.As to recover it).
+type UnknownKernelError = algorithms.UnknownKernelError
+
+// RegisterKernel adds a kernel to the process-wide registry, making it
+// resolvable by name everywhere a kernel name is accepted. It panics on a
+// duplicate name or an invalid descriptor; call it from init, like the
+// built-in kernels do.
+func RegisterKernel(k Kernel) { algorithms.Register(k) }
+
+// NewKernel resolves a kernel by registered name (see KernelNames).
+//
+// Deprecated: NewKernel is a thin shim kept for API compatibility; it is
+// exactly the registry lookup. New code should treat kernels as names and
+// let Run, RunKernel or Query resolve them.
 func NewKernel(name string) (Kernel, error) { return algorithms.New(name) }
 
 // NewEngine builds a parallel engine for g.
@@ -242,28 +300,33 @@ func NewEngine(g *Graph, cfg EngineConfig) *Engine { return engine.New(g, cfg) }
 func NewStoreEngine(s GraphStore, cfg EngineConfig) *Engine { return engine.NewFromStore(s, cfg) }
 
 // RunKernel executes a kernel on g with the sharded parallel engine and
-// returns a result bit-identical to Reference. A src that is negative or
-// at/beyond g.V selects the highest-out-degree vertex (as core.Run does);
-// maxIters <= 0 selects engine.DefaultMaxIters; workers <= 0 selects
-// GOMAXPROCS.
+// returns a result bit-identical to Reference. src follows the kernel
+// descriptor's source role (negative or out-of-range selects the
+// highest-out-degree vertex for traversal kernels); maxIters <= 0 selects
+// the descriptor default; workers <= 0 selects GOMAXPROCS.
+//
+// Deprecated: RunKernel is a registry shim kept for API compatibility; it
+// is NewEngine + Engine.Run with descriptor-driven source and iteration
+// defaults. Build an Engine directly to amortize sharding across runs, or
+// use a Runner/Query for caching.
 func RunKernel(kernel string, g *Graph, src int64, maxIters, workers int) (*KernelResult, error) {
 	k, err := algorithms.New(kernel)
 	if err != nil {
 		return nil, err
 	}
-	s, _ := graph.HighestDegreeVertex(g)
-	if src >= 0 && src < int64(g.V) {
-		s = uint32(src)
-	}
-	if maxIters <= 0 {
-		maxIters = engine.DefaultMaxIters
-	}
+	d := k.Descriptor()
+	s := algorithms.ResolveSource(d, src, g.V, func() uint32 {
+		hd, _ := graph.HighestDegreeVertex(g)
+		return hd
+	})
+	maxIters = algorithms.EffectiveMaxIters(d, maxIters, engine.DefaultMaxIters)
 	return engine.New(g, engine.Config{Workers: workers}).Run(k, s, maxIters), nil
 }
 
-// TopK ranks a kernel's converged properties with kernel-appropriate
-// semantics (highest rank for pr, closest for bfs/sssp, widest for sswp,
-// largest components for cc).
+// TopK ranks a kernel's converged properties with the semantics the
+// kernel's descriptor declares (highest rank for pr/ppr, closest for
+// bfs/sssp, widest for sswp, largest groups for cc/lp, membership for
+// kcore).
 func TopK(kernel string, prop []uint64, k int) ([]VertexScore, error) {
 	return engine.TopK(kernel, prop, k)
 }
@@ -273,8 +336,9 @@ func TopK(kernel string, prop []uint64, k int) ([]VertexScore, error) {
 // result repair. ApplyUpdates inserts edge batches; Query returns vertex
 // properties bit-identical to Reference on the materialized post-update
 // graph, served by monotone repair when cheap and a full engine run when
-// not; ApproxPageRank is the delta-PageRank residual-propagation path.
-// Safe for concurrent use.
+// not (per the kernel descriptor's repair strategy); ApproxPageRank and
+// ApproxPersonalizedPageRank are the delta-PageRank residual-propagation
+// paths. Safe for concurrent use.
 type DynamicEngine = stream.DynamicEngine
 
 // EdgeUpdate is one streamed edge insertion (weight in 1..255; multi-edges

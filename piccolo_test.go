@@ -2,6 +2,7 @@ package piccolo
 
 import (
 	"context"
+	"errors"
 	"testing"
 )
 
@@ -94,8 +95,22 @@ func TestFacadeMemoryPresets(t *testing.T) {
 			t.Errorf("%s: no bandwidth", mc.Name)
 		}
 	}
-	if len(Systems()) != 6 || len(Kernels()) != 5 {
+	if len(Systems()) != 6 || len(Kernels()) != 8 {
 		t.Error("enumerations wrong")
+	}
+	for i, name := range KernelNames() {
+		if Kernels()[i].Name != name {
+			t.Errorf("Kernels()[%d].Name = %q, want %q", i, Kernels()[i].Name, name)
+		}
+	}
+	if _, err := NewKernel("nope"); !errors.Is(err, ErrUnknownKernel) {
+		t.Error("unknown kernel: want ErrUnknownKernel")
+	}
+	var uk *UnknownKernelError
+	if _, err := RunKernel("nope", MustDataset("UU", ScaleTiny), -1, 0, 0); !errors.As(err, &uk) {
+		t.Error("unknown kernel: want *UnknownKernelError")
+	} else if len(uk.Supported) != len(Kernels()) {
+		t.Errorf("UnknownKernelError.Supported has %d names, want %d", len(uk.Supported), len(Kernels()))
 	}
 }
 
